@@ -1,0 +1,70 @@
+// Command vectorio-bench regenerates the paper's evaluation artifacts: every
+// table and figure of §5, selected by experiment id.
+//
+// Usage:
+//
+//	vectorio-bench -exp fig8            # one experiment
+//	vectorio-bench -exp all             # the full evaluation
+//	vectorio-bench -list                # show experiment ids
+//	vectorio-bench -exp fig17 -scale-mul 4 -quick
+//
+// -scale-mul multiplies every dataset's default scale factor (larger means
+// smaller real files and faster runs); -quick shrinks parameter sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table3, fig8..fig20) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	scaleMul := flag.Float64("scale-mul", 1, "multiply dataset scale factors (bigger = faster, smaller files)")
+	quick := flag.Bool("quick", false, "shrink parameter sweeps")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{ScaleMul: *scaleMul, Quick: *quick}
+	run := func(e bench.Experiment) error {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		tbl.Print(os.Stdout)
+		fmt.Printf("   (%s regenerated in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "vectorio-bench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for _, e := range bench.Experiments() {
+		if e.ID == *exp {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "vectorio-bench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vectorio-bench: unknown experiment %q (use -list)\n", *exp)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsQuick executes all sixteen experiment runners in
+// Quick mode and checks each produces a well-formed, non-empty table.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Config{Quick: true, ScaleMul: 8})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table ID = %q, want %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table (header %d, rows %d)", e.ID, len(tbl.Header), len(tbl.Rows))
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("%s row %d: %d cells, header has %d", e.ID, i, len(row), len(tbl.Header))
+				}
+				for j, cell := range row {
+					if strings.TrimSpace(cell) == "" {
+						t.Errorf("%s row %d col %d: empty cell", e.ID, i, j)
+					}
+				}
+			}
+			var sb strings.Builder
+			tbl.Print(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Errorf("%s: Print output missing experiment id", e.ID)
+			}
+		})
+	}
+}
+
+// TestRunUnknownExperiment checks the error path lists valid ids.
+func TestRunUnknownExperiment(t *testing.T) {
+	_, err := Run("fig99", Config{Quick: true})
+	if err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	if !strings.Contains(err.Error(), "fig8") {
+		t.Errorf("error should list known ids, got: %v", err)
+	}
+}

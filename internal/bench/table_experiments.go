@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/wkb"
+)
+
+// Table1 regenerates the MPI-IO level taxonomy (paper Table 1) and backs it
+// with a measured demonstration: the same binary MBR file is read at each
+// level on the same process count, so the taxonomy rows carry the relative
+// costs the rest of the evaluation explains.
+func Table1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Three levels in MPI file read functions",
+		Header: []string{"Level", "Access", "Functions", "read (s)"},
+		Notes:  "same 1 GB binary MBR file, 20 processes; Level 2 (non-contiguous independent) is unused by the paper",
+	}
+	scale := cfg.scale(64)
+	nodes := 1
+	if cfg.Quick {
+		scale = cfg.scale(1024)
+	}
+	records := int(realBytes(1e9, scale)) / wkb.RectRecordSize
+	f, err := rectFile(pfs.RogerGPFS(), records, scale, 11)
+	if err != nil {
+		return nil, err
+	}
+	cc := func() *cluster.Config {
+		c := cluster.Roger(nodes)
+		c.ByteScale = scale
+		return c
+	}
+
+	t0, err := timedEqualRead(cc(), f, wkb.RectRecordSize, false)
+	if err != nil {
+		return nil, fmt.Errorf("table1 level0: %v", err)
+	}
+	t1, err := timedEqualRead(cc(), f, wkb.RectRecordSize, true)
+	if err != nil {
+		return nil, fmt.Errorf("table1 level1: %v", err)
+	}
+	t3, err := timedRoundRobinRead(cc(), f, 4096)
+	if err != nil {
+		return nil, fmt.Errorf("table1 level3: %v", err)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Level 0", "Contiguous and Independent", "MPI_File_read_at", seconds(t0)},
+		[]string{"Level 1", "Contiguous and Collective", "MPI_File_read_at_all", seconds(t1)},
+		[]string{"Level 3", "Non-contiguous and Collective", "MPI_File_set_view + MPI_File_read_all", seconds(t3)},
+	)
+	return t, nil
+}
+
+// timedEqualRead reads the file in equal contiguous per-rank partitions
+// aligned to align bytes, independently (Level 0) or collectively (Level 1),
+// and returns the slowest rank's time. Each partition is read in 1 GB
+// (virtual) slices, respecting the ROMIO 2 GB single-operation limit; every
+// rank issues the same number of calls so collectives stay matched.
+func timedEqualRead(cc *cluster.Config, f *pfs.File, align int64, collective bool) (float64, error) {
+	var tmax float64
+	var once sync.Once
+	err := mpi.Run(cc, func(c *mpi.Comm) error {
+		mf := mpiio.Open(c, f, mpiio.Hints{})
+		per := (f.Size() + int64(c.Size()) - 1) / int64(c.Size())
+		if align > 1 {
+			per -= per % align
+			if per == 0 {
+				per = align
+			}
+		}
+		off := int64(c.Rank()) * per
+		length := min(per, max(f.Size()-off, 0))
+		buf := make([]byte, length)
+		chunk := realBytes(1e9, f.Scale())
+		if align > 1 {
+			chunk -= chunk % align
+			if chunk == 0 {
+				chunk = align
+			}
+		}
+		for lo := int64(0); lo == 0 || lo < per; lo += chunk {
+			clo := min(lo, length)
+			chi := min(lo+chunk, length)
+			sub := buf[clo:chi]
+			var err error
+			if collective {
+				_, err = mf.ReadAtAll(sub, off+clo)
+			} else {
+				_, err = mf.ReadAtSync(sub, off+clo)
+			}
+			if err != nil && err != io.EOF {
+				return err
+			}
+		}
+		tm, err := maxNow(c, c.Now())
+		if err != nil {
+			return err
+		}
+		once.Do(func() { tmax = tm })
+		return nil
+	})
+	return tmax, err
+}
+
+// table2Case is one (spatial type, reduction operator) combination of the
+// paper's Table 2.
+type table2Case struct {
+	typeName string
+	opName   string
+	dt       *mpi.Datatype
+	op       *mpi.Op
+	elems    int
+}
+
+// Table2 regenerates the spatial datatype / reduction operator matrix
+// (paper Table 2) and demonstrates every valid combination by running a
+// real MPI_Reduce and MPI_Scan with it, reporting the measured time.
+func Table2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Spatial data types and reduction operators",
+		Header: []string{"Spatial Type", "Operator", "Elements", "procs", "reduce (ms)", "scan (ms)"},
+		Notes:  "paper Table 2: MIN/MAX support RECT, LINE, POINT; UNION supports RECT",
+	}
+	elems := 4096
+	procs := 8
+	if cfg.Quick {
+		elems = 256
+		procs = 4
+	}
+	cases := []table2Case{
+		{"MPI_POINT", "MPI_MIN", core.PointType, core.OpPointMin, elems},
+		{"MPI_POINT", "MPI_MAX", core.PointType, core.OpPointMax, elems},
+		{"MPI_LINE", "MPI_MIN", core.LineType, core.OpLineMin, elems},
+		{"MPI_LINE", "MPI_MAX", core.LineType, core.OpLineMax, elems},
+		{"MPI_RECT", "MPI_MIN", core.RectType, core.OpRectMin, elems},
+		{"MPI_RECT", "MPI_MAX", core.RectType, core.OpRectMax, elems},
+		{"MPI_RECT", "MPI_UNION", core.RectType, core.OpRectUnion, elems},
+	}
+	for _, tc := range cases {
+		reduceT, scanT, err := timedSpatialOp(procs, tc)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s/%s: %v", tc.typeName, tc.opName, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			tc.typeName, tc.opName, fmt.Sprintf("%d", tc.elems), fmt.Sprintf("%d", procs),
+			fmt.Sprintf("%.3f", reduceT*1e3), fmt.Sprintf("%.3f", scanT*1e3),
+		})
+	}
+	return t, nil
+}
+
+// timedSpatialOp runs Reduce then Scan with the given spatial datatype and
+// operator over per-rank random element arrays and returns the maximum
+// virtual times.
+func timedSpatialOp(procs int, tc table2Case) (reduceT, scanT float64, err error) {
+	cc := cluster.Roger((procs + 19) / 20)
+	cc.RanksPerNode = procs / cc.Nodes
+	var once sync.Once
+	err = mpi.Run(cc, func(c *mpi.Comm) error {
+		buf := make([]byte, tc.elems*tc.dt.Size())
+		// Deterministic per-rank values; contents are irrelevant to cost.
+		for i := range buf {
+			buf[i] = byte((i*31 + c.Rank()*17) % 251)
+		}
+		// Overwrite with well-formed coordinates so geometric ops see sane
+		// envelopes (NaN-free).
+		for i := 0; i < tc.elems; i++ {
+			base := float64(c.Rank()*tc.elems + i)
+			for w := 0; w < tc.dt.Size()/8; w++ {
+				putF64(buf[i*tc.dt.Size()+w*8:], base+float64(w))
+			}
+		}
+		t0 := c.Now()
+		if _, err := c.Reduce(buf, tc.elems, tc.dt, tc.op, 0); err != nil {
+			return err
+		}
+		rT, err := maxNow(c, c.Now()-t0)
+		if err != nil {
+			return err
+		}
+		t1 := c.Now()
+		if _, err := c.Scan(buf, tc.elems, tc.dt, tc.op); err != nil {
+			return err
+		}
+		sT, err := maxNow(c, c.Now()-t1)
+		if err != nil {
+			return err
+		}
+		once.Do(func() { reduceT, scanT = rT, sT })
+		return nil
+	})
+	return reduceT, scanT, err
+}

@@ -1,0 +1,10 @@
+package bench
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+func f64of(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }

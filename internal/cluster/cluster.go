@@ -1,0 +1,144 @@
+// Package cluster describes the simulated machine: how many nodes, how many
+// ranks per node, and the latency/bandwidth parameters of the interconnect.
+//
+// Two presets mirror the testbeds of the paper's evaluation (§5): COMET
+// (XSEDE, Lustre, FDR InfiniBand) and ROGER (CyberGIS, GPFS, 40 GbE).
+package cluster
+
+import "fmt"
+
+// Config is the static description of a simulated cluster. All bandwidths
+// are bytes/second and all latencies are seconds.
+type Config struct {
+	// Name labels the preset in experiment output.
+	Name string
+
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// RanksPerNode is the number of MPI processes launched per node.
+	RanksPerNode int
+
+	// InterLatency and InterBandwidth parameterize the alpha-beta cost of a
+	// message between ranks on different nodes.
+	InterLatency   float64
+	InterBandwidth float64
+	// IntraLatency and IntraBandwidth apply between ranks sharing a node
+	// (shared-memory transport).
+	IntraLatency   float64
+	IntraBandwidth float64
+
+	// NodeInjection caps the aggregate bytes/second a single node can move
+	// to or from the network (and the filesystem servers behind it).
+	NodeInjection float64
+
+	// ByteScale declares that each transferred byte stands for ByteScale
+	// bytes of the paper's full-size workload, so communication time on
+	// scaled-down datasets is reported in full-scale terms (it mirrors
+	// pfs.File.SetScale on the I/O side). Zero or less means 1.
+	ByteScale float64
+}
+
+// Scale returns the effective ByteScale (at least 1).
+func (c *Config) Scale() float64 {
+	if c.ByteScale > 1 {
+		return c.ByteScale
+	}
+	return 1
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	case c.RanksPerNode <= 0:
+		return fmt.Errorf("cluster: RanksPerNode must be positive, got %d", c.RanksPerNode)
+	case c.InterBandwidth <= 0 || c.IntraBandwidth <= 0:
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	case c.InterLatency < 0 || c.IntraLatency < 0:
+		return fmt.Errorf("cluster: latencies must be non-negative")
+	case c.NodeInjection <= 0:
+		return fmt.Errorf("cluster: NodeInjection must be positive")
+	}
+	return nil
+}
+
+// Size returns the total number of ranks the configuration launches.
+func (c *Config) Size() int { return c.Nodes * c.RanksPerNode }
+
+// NodeOf returns the node hosting the given rank. Placement is by blocks,
+// matching the mpirun default (fill one node before the next).
+func (c *Config) NodeOf(rank int) int { return rank / c.RanksPerNode }
+
+// SameNode reports whether two ranks share a node.
+func (c *Config) SameNode(a, b int) bool { return c.NodeOf(a) == c.NodeOf(b) }
+
+// MsgTime returns the modeled duration of moving n bytes between two ranks
+// (alpha + n*beta with the intra- or inter-node parameters), with n scaled
+// to full-size bytes by ByteScale.
+func (c *Config) MsgTime(src, dst, n int) float64 {
+	if src == dst {
+		return 0
+	}
+	bytes := float64(n) * c.Scale()
+	if c.SameNode(src, dst) {
+		return c.IntraLatency + bytes/c.IntraBandwidth
+	}
+	return c.InterLatency + bytes/c.InterBandwidth
+}
+
+const (
+	// KB, MB and GB are decimal byte units, matching how the paper reports
+	// file sizes and bandwidths.
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+)
+
+// Comet returns the COMET preset used for the Lustre experiments: 24-core
+// Intel Xeon E5-2680v3 nodes, 16 MPI ranks per node, FDR InfiniBand at
+// 56 Gb/s (7 GB/s) per node link.
+func Comet(nodes int) *Config {
+	return &Config{
+		Name:           "COMET",
+		Nodes:          nodes,
+		RanksPerNode:   16,
+		InterLatency:   2e-6,
+		InterBandwidth: 7 * GB,
+		IntraLatency:   4e-7,
+		IntraBandwidth: 12 * GB,
+		NodeInjection:  7 * GB,
+	}
+}
+
+// Roger returns the ROGER preset used for the GPFS experiments: 20-core
+// E5-2660v3 nodes, 20 MPI ranks per node, 10 Gb/s node uplinks into a
+// 40 Gb/s core.
+func Roger(nodes int) *Config {
+	return &Config{
+		Name:           "ROGER",
+		Nodes:          nodes,
+		RanksPerNode:   20,
+		InterLatency:   5e-6,
+		InterBandwidth: 5 * GB,
+		IntraLatency:   4e-7,
+		IntraBandwidth: 12 * GB,
+		NodeInjection:  1.25 * GB, // 10 Gb/s uplink
+	}
+}
+
+// Local returns a tiny single-node preset convenient for unit tests and the
+// runnable examples: latency-free fast transport so functional behaviour,
+// not the cost model, dominates.
+func Local(ranks int) *Config {
+	return &Config{
+		Name:           "LOCAL",
+		Nodes:          1,
+		RanksPerNode:   ranks,
+		InterLatency:   1e-6,
+		InterBandwidth: 10 * GB,
+		IntraLatency:   1e-7,
+		IntraBandwidth: 20 * GB,
+		NodeInjection:  20 * GB,
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []*Config{Comet(4), Roger(4), Local(8)} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"zero-nodes", func(c *Config) { c.Nodes = 0 }},
+		{"zero-rpn", func(c *Config) { c.RanksPerNode = 0 }},
+		{"zero-bw", func(c *Config) { c.InterBandwidth = 0 }},
+		{"neg-lat", func(c *Config) { c.InterLatency = -1 }},
+		{"zero-injection", func(c *Config) { c.NodeInjection = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Comet(2)
+			c.mod(cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate accepted a broken config")
+			}
+		})
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	cfg := Comet(3) // 16 ranks per node
+	if cfg.Size() != 48 {
+		t.Errorf("Size = %d", cfg.Size())
+	}
+	if cfg.NodeOf(0) != 0 || cfg.NodeOf(15) != 0 || cfg.NodeOf(16) != 1 || cfg.NodeOf(47) != 2 {
+		t.Error("block placement wrong")
+	}
+	if !cfg.SameNode(0, 15) || cfg.SameNode(15, 16) {
+		t.Error("SameNode wrong")
+	}
+}
+
+func TestMsgTime(t *testing.T) {
+	cfg := Comet(2)
+	if got := cfg.MsgTime(3, 3, 1000); got != 0 {
+		t.Errorf("self message cost = %v", got)
+	}
+	intra := cfg.MsgTime(0, 1, 1_000_000)
+	inter := cfg.MsgTime(0, 16, 1_000_000)
+	if intra >= inter {
+		t.Errorf("intra-node (%v) should be cheaper than inter-node (%v)", intra, inter)
+	}
+	// Cost grows with size.
+	if cfg.MsgTime(0, 16, 2_000_000) <= inter {
+		t.Error("message cost should grow with size")
+	}
+}
+
+func TestMsgTimeFormula(t *testing.T) {
+	cfg := &Config{
+		Nodes: 2, RanksPerNode: 1,
+		InterLatency: 1e-6, InterBandwidth: 1 * GB,
+		IntraLatency: 1e-7, IntraBandwidth: 10 * GB,
+		NodeInjection: 1 * GB,
+	}
+	got := cfg.MsgTime(0, 1, 1000)
+	want := 1e-6 + 1000/1e9
+	if diff := got - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("MsgTime = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+)
+
+// tagFragment is the point-to-point tag of Algorithm 1's ring exchange.
+const tagFragment = 77
+
+// Fragment-framing flags: a final fragment closes the sender's chain for
+// this iteration; a non-final one announces that more fragments follow
+// (a record spanning more than one block is relayed piecewise).
+const (
+	fragFinal byte = 1
+	fragMore  byte = 0
+)
+
+// ErrGeometryTooLarge is returned by the overlap strategy when a record
+// exceeds the halo length (MaxGeomSize).
+var ErrGeometryTooLarge = errors.New("core: record exceeds MaxGeomSize halo; increase MaxGeomSize")
+
+// ErrRemoteParse reports that another rank hit a parse error during a
+// collective ReadPartition; the failing rank returns the underlying error.
+var ErrRemoteParse = errors.New("core: parse failure on another rank")
+
+// ReadOptions configures ReadPartition.
+type ReadOptions struct {
+	// BlockSize is the bytes each process reads per iteration (real bytes;
+	// the granularity knob of §4.1). Zero divides the file equally in a
+	// single iteration.
+	BlockSize int64
+	// Level selects independent (Level0) or collective (Level1) MPI-IO
+	// read functions.
+	Level AccessLevel
+	// Strategy selects message-based (Algorithm 1) or overlap (halo)
+	// boundary handling.
+	Strategy Strategy
+	// MaxGeomSize is the halo length for the Overlap strategy — the upper
+	// bound on one record's size (the paper uses 11 MB, its largest
+	// polygon). Zero defaults to BlockSize.
+	MaxGeomSize int64
+	// Delimiter separates records; zero defaults to '\n'.
+	Delimiter byte
+	// SkipErrors counts malformed records instead of failing.
+	SkipErrors bool
+}
+
+// ReadStats reports what one rank did during ReadPartition. Times are
+// virtual seconds.
+type ReadStats struct {
+	Records    int
+	Errors     int
+	BytesRead  int64 // real bytes read from the filesystem, redundancy included
+	Iterations int
+	IOTime     float64
+	CommTime   float64
+	ParseTime  float64
+}
+
+// ReadPartition reads and partitions a vector file across all ranks of c:
+// every rank returns the geometries whose records end inside its file
+// partitions (a record spanning a partition boundary belongs to the rank
+// holding its final byte). This is the paper's Algorithm 1 (message-based,
+// default) or its overlap alternative, under independent or collective
+// MPI-IO. All ranks must call it collectively.
+//
+// The message-based strategy generalizes the paper's algorithm: when a
+// record is longer than a whole block, the incomplete fragment is relayed
+// through intermediate ranks until it meets its terminating delimiter, so
+// no a-priori bound on geometry size is required.
+func ReadPartition(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions) ([]geom.Geometry, ReadStats, error) {
+	if opt.Delimiter == 0 {
+		opt.Delimiter = '\n'
+	}
+	n := int64(c.Size())
+	fileSize := f.Size()
+	blockSize := opt.BlockSize
+	if blockSize <= 0 {
+		blockSize = (fileSize + n - 1) / n
+	}
+	if blockSize <= 0 { // empty file
+		return nil, ReadStats{}, nil
+	}
+	if opt.MaxGeomSize <= 0 {
+		opt.MaxGeomSize = blockSize
+	}
+	if opt.Strategy == Overlap {
+		return readOverlap(c, f, p, opt, blockSize)
+	}
+	return readMessage(c, f, p, opt, blockSize)
+}
+
+// readBlock issues the per-iteration read at the configured access level.
+// Inactive ranks pass length 0 and still participate in collectives.
+func readBlock(c *mpi.Comm, f *mpiio.File, level AccessLevel, off, length int64) ([]byte, error) {
+	buf := make([]byte, length)
+	var n int
+	var err error
+	if level == Level1 {
+		n, err = f.ReadAtAll(buf, off)
+	} else {
+		n, err = f.ReadAtSync(buf, off)
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// readMessage implements Algorithm 1: iterative aligned block reads with a
+// ring exchange of the trailing incomplete record. Even ranks send then
+// receive; odd ranks receive then send, avoiding the rendezvous deadlock
+// (§4.1, Algorithm 1 lines 12-19). Blocks containing no delimiter at all
+// (a record longer than the block) are relayed onward, flagged non-final,
+// until a rank with the record's terminating delimiter assembles it.
+func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSize int64) ([]geom.Geometry, ReadStats, error) {
+	pc := &parseCtx{c: c, p: p, opt: opt, scale: f.PFSFile().Scale()}
+	n := c.Size()
+	rank := c.Rank()
+	fileSize := f.Size()
+	chunk := int64(n) * blockSize
+	iterations := int((fileSize + chunk - 1) / chunk)
+	pc.stats.Iterations = iterations
+
+	next := (rank + 1) % n
+	prev := (rank - 1 + n) % n
+	var carry []byte // rank 0 only: fragments from rank n-1, head of the next iteration
+
+	for i := 0; i < iterations; i++ {
+		globalOffset := int64(i) * chunk
+		start := globalOffset + int64(rank)*blockSize
+		length := min(blockSize, max(fileSize-start, 0))
+		remaining := fileSize - globalOffset
+		active := int((remaining + blockSize - 1) / blockSize)
+		if active > n {
+			active = n
+		}
+		isTerminal := i == iterations-1 && rank == active-1
+
+		t0 := c.Now()
+		block, err := readBlock(c, f, opt.Level, start, length)
+		if err != nil {
+			return nil, pc.stats, fmt.Errorf("core: iteration %d read: %w", i, err)
+		}
+		pc.stats.IOTime += c.Now() - t0
+		pc.stats.BytesRead += int64(len(block))
+
+		// Classify this rank's block: body is parsed locally (after the
+		// inbound prefix is prepended); ownMsg flows to the successor.
+		// A pass-through rank contributes no delimiter and must relay all
+		// inbound fragments onward.
+		var body, ownMsg []byte
+		ownFinal := true
+		passThrough := false
+		switch {
+		case isTerminal:
+			body = block // EOF terminates the final record
+		case len(block) == 0:
+			passThrough = true // inactive rank in the last iteration: relay only
+			ownFinal = false
+		default:
+			if ld := bytes.LastIndexByte(block, opt.Delimiter); ld >= 0 {
+				body, ownMsg = block[:ld+1], block[ld+1:]
+			} else if rank == 0 {
+				// The whole block continues the record begun in carry; both
+				// flow onward. The carry is a complete prefix (its left edge
+				// is a true record start), so the chain closes here.
+				ownMsg = append(append([]byte{}, carry...), block...)
+				carry = nil
+			} else {
+				passThrough = true
+				ownMsg = block
+				ownFinal = false
+			}
+		}
+
+		var prefix []byte
+		if n == 1 {
+			// Single rank: the tail simply carries into the next iteration.
+			prefix, carry = carry, append([]byte{}, ownMsg...)
+		} else {
+			t1 := c.Now()
+			var newCarry []byte
+			sentOwn := false
+			sendOwn := func() error {
+				sentOwn = true
+				return sendFragment(c, next, ownMsg, ownFinal)
+			}
+			// Even ranks send before receiving, odd ranks after their first
+			// receive — the paper's deadlock-avoiding split under blocking
+			// rendezvous sends.
+			if rank%2 == 0 {
+				if err := sendOwn(); err != nil {
+					return nil, pc.stats, fmt.Errorf("core: fragment send: %w", err)
+				}
+			}
+			for {
+				payload, final, err := recvFragment(c, prev)
+				if err != nil {
+					return nil, pc.stats, fmt.Errorf("core: fragment recv: %w", err)
+				}
+				if !sentOwn {
+					if err := sendOwn(); err != nil {
+						return nil, pc.stats, fmt.Errorf("core: fragment send: %w", err)
+					}
+				}
+				// Later fragments lie earlier in the file: prepend.
+				switch {
+				case rank == 0:
+					// Fragments from rank n-1 belong to the head of rank 0's
+					// block in the NEXT iteration.
+					newCarry = append(payload, newCarry...)
+				case passThrough:
+					if err := sendFragment(c, next, payload, final); err != nil {
+						return nil, pc.stats, fmt.Errorf("core: fragment relay: %w", err)
+					}
+				default:
+					prefix = append(payload, prefix...)
+				}
+				if final {
+					break
+				}
+			}
+			pc.stats.CommTime += c.Now() - t1
+			if rank == 0 {
+				prefix, carry = carry, newCarry
+			}
+		}
+
+		if len(prefix) > 0 || len(body) > 0 {
+			full := prefix
+			if len(body) > 0 {
+				full = append(append([]byte{}, prefix...), body...)
+			}
+			pc.records(full)
+		}
+	}
+	// Anything still carried at EOF is a final unterminated record.
+	if len(carry) > 0 {
+		pc.records(carry)
+	}
+	return pc.finish()
+}
+
+// sendFragment frames payload with a final/more flag byte and sends it on
+// the ring.
+func sendFragment(c *mpi.Comm, dst int, payload []byte, final bool) error {
+	flag := fragMore
+	if final {
+		flag = fragFinal
+	}
+	buf := make([]byte, 1+len(payload))
+	buf[0] = flag
+	copy(buf[1:], payload)
+	return c.Send(buf, dst, tagFragment)
+}
+
+// recvFragment sizes the incoming fragment with Probe + Get_count — the
+// alternative the paper describes to preallocating the 11 MB worst-case
+// buffer (§4.1) — and strips the framing flag.
+func recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
+	st, err := c.Probe(src, tagFragment)
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, st.Count)
+	if _, err := c.Recv(buf, src, tagFragment); err != nil {
+		return nil, false, err
+	}
+	if len(buf) == 0 {
+		return nil, false, fmt.Errorf("core: fragment missing framing byte")
+	}
+	return buf[1:], buf[0] == fragFinal, nil
+}
+
+// readOverlap implements the halo strategy: every block read is extended by
+// MaxGeomSize bytes so boundary-spanning records are fully visible to the
+// rank that owns their first byte. Redundant I/O, no messages (§4.1).
+func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSize int64) ([]geom.Geometry, ReadStats, error) {
+	pc := &parseCtx{c: c, p: p, opt: opt, scale: f.PFSFile().Scale()}
+	n := int64(c.Size())
+	rank := int64(c.Rank())
+	fileSize := f.Size()
+	chunk := n * blockSize
+	iterations := int((fileSize + chunk - 1) / chunk)
+	pc.stats.Iterations = iterations
+
+	for i := 0; i < iterations; i++ {
+		globalOffset := int64(i) * chunk
+		start := globalOffset + rank*blockSize
+		length := min(blockSize, max(fileSize-start, 0))
+
+		// Extend by one leading byte (record-start detection) and the
+		// halo.
+		extStart := start
+		if length > 0 && start > 0 {
+			extStart = start - 1
+		}
+		var extLen int64
+		if length > 0 {
+			extLen = min(start-extStart+length+opt.MaxGeomSize, fileSize-extStart)
+		}
+
+		t0 := c.Now()
+		block, err := readBlock(c, f, opt.Level, extStart, extLen)
+		if err != nil {
+			return nil, pc.stats, fmt.Errorf("core: overlap iteration %d read: %w", i, err)
+		}
+		pc.stats.IOTime += c.Now() - t0
+		pc.stats.BytesRead += int64(len(block))
+		if length == 0 {
+			continue
+		}
+
+		// Find the first record owned by this rank: one starting in
+		// [start, start+length).
+		pos := int64(0) // index into block of the ownership scan
+		if start > 0 {
+			// block[0] is the byte at start-1: if it is a delimiter, the
+			// record at `start` is ours; otherwise skip the partial record
+			// (our predecessor owns it).
+			if block[0] != opt.Delimiter {
+				rel := bytes.IndexByte(block, opt.Delimiter)
+				if rel < 0 {
+					// The whole extended block is one foreign record.
+					continue
+				}
+				pos = int64(rel) + 1
+			} else {
+				pos = 1
+			}
+		}
+		ownedEnd := start - extStart + length // block-relative end of ownership
+
+		for pos < ownedEnd {
+			rel := bytes.IndexByte(block[pos:], opt.Delimiter)
+			var rec []byte
+			if rel < 0 {
+				// No further delimiter: final record closed by EOF, or a
+				// record overflowing the halo.
+				if extStart+int64(len(block)) < fileSize {
+					return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+				}
+				rec = block[pos:]
+				pos = int64(len(block))
+			} else {
+				rec = block[pos : pos+int64(rel)]
+				pos += int64(rel) + 1
+			}
+			pc.one(rec)
+		}
+	}
+	return pc.finish()
+}
+
+// parseCtx accumulates one rank's parse results and defers parse errors so
+// the collective read structure stays intact: every rank completes all
+// iterations and the error becomes collective in finish().
+type parseCtx struct {
+	c        *mpi.Comm
+	p        Parser
+	opt      ReadOptions
+	scale    float64
+	geoms    []geom.Geometry
+	stats    ReadStats
+	firstErr error
+}
+
+// records splits a byte run into delimiter-separated records and parses
+// each.
+func (pc *parseCtx) records(data []byte) {
+	for len(data) > 0 {
+		idx := bytes.IndexByte(data, pc.opt.Delimiter)
+		var rec []byte
+		if idx < 0 {
+			rec, data = data, nil
+		} else {
+			rec, data = data[:idx], data[idx+1:]
+		}
+		pc.one(rec)
+	}
+}
+
+// one parses one record, charges the calibrated parse cost for the work
+// actually done, and appends the geometry. Malformed records are counted;
+// the first is remembered unless SkipErrors is set.
+func (pc *parseCtx) one(rec []byte) {
+	if len(trimSpace(rec)) == 0 {
+		return
+	}
+	t0 := pc.c.Now()
+	g, err := pc.p.Parse(rec)
+	if err != nil {
+		pc.stats.Errors++
+		if !pc.opt.SkipErrors && pc.firstErr == nil {
+			pc.firstErr = fmt.Errorf("core: parse error in record %q: %w", truncRecord(rec), err)
+		}
+		return
+	}
+	if g == nil {
+		return
+	}
+	pc.c.Compute(costmodel.ParseCost(g.GeomType(), len(rec)) * pc.scale)
+	pc.stats.ParseTime += pc.c.Now() - t0
+	pc.stats.Records++
+	pc.geoms = append(pc.geoms, g)
+}
+
+// finish settles deferred parse errors collectively: an Allreduce tells
+// every rank whether any rank failed, so all ranks of a collective read
+// agree on the outcome (skipped when SkipErrors makes errors non-fatal).
+func (pc *parseCtx) finish() ([]geom.Geometry, ReadStats, error) {
+	if pc.opt.SkipErrors {
+		return pc.geoms, pc.stats, nil
+	}
+	var flag [8]byte
+	if pc.firstErr != nil {
+		binary.LittleEndian.PutUint64(flag[:], 1)
+	}
+	out, err := pc.c.Allreduce(flag[:], 1, mpi.Int64, mpi.OpSumInt64)
+	if err != nil {
+		return nil, pc.stats, fmt.Errorf("core: error agreement: %w", err)
+	}
+	if failed := int64(binary.LittleEndian.Uint64(out)); failed > 0 {
+		if pc.firstErr != nil {
+			return nil, pc.stats, pc.firstErr
+		}
+		return nil, pc.stats, fmt.Errorf("%w (%d rank(s) affected)", ErrRemoteParse, failed)
+	}
+	return pc.geoms, pc.stats, nil
+}
+
+func truncRecord(rec []byte) string {
+	const limit = 60
+	if len(rec) > limit {
+		return string(rec[:limit]) + "..."
+	}
+	return string(rec)
+}

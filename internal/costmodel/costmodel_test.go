@@ -1,0 +1,140 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestParseCostByShape checks each shape class uses its calibrated rate and
+// that polygons cost the most per byte — the Table 3 observation that All
+// Objects parses slower than the larger Road Network file.
+func TestParseCostByShape(t *testing.T) {
+	const n = 1000
+	poly := ParseCost(geom.TypePolygon, n)
+	line := ParseCost(geom.TypeLineString, n)
+	point := ParseCost(geom.TypePoint, n)
+	if poly <= line || poly <= point {
+		t.Errorf("polygon parse (%.3g) should cost most (line %.3g, point %.3g)", poly, line, point)
+	}
+	if got, want := poly, PolygonParsePerByte*n; math.Abs(got-want) > 1e-12 {
+		t.Errorf("polygon cost = %.3g, want %.3g", got, want)
+	}
+	if got, want := line, LineParsePerByte*n; math.Abs(got-want) > 1e-12 {
+		t.Errorf("line cost = %.3g, want %.3g", got, want)
+	}
+	if got, want := point, PointParsePerByte*n; math.Abs(got-want) > 1e-12 {
+		t.Errorf("point cost = %.3g, want %.3g", got, want)
+	}
+}
+
+// TestParseCostMultiShapesMatchBase checks multi-geometries inherit their
+// element class rates.
+func TestParseCostMultiShapesMatchBase(t *testing.T) {
+	if ParseCost(geom.TypeMultiPoint, 100) != ParseCost(geom.TypePoint, 100) {
+		t.Error("multipoint should parse at the point rate")
+	}
+	if ParseCost(geom.TypeMultiLineString, 100) != ParseCost(geom.TypeLineString, 100) {
+		t.Error("multilinestring should parse at the line rate")
+	}
+	if ParseCost(geom.TypeMultiPolygon, 100) != ParseCost(geom.TypePolygon, 100) {
+		t.Error("multipolygon should parse at the polygon rate")
+	}
+}
+
+// TestTable3Anchors reproduces the calibration: full-scale parse cost of
+// each anchor dataset must land within 25% of the paper's sequential time
+// (the remainder is the I/O share charged by internal/pfs).
+func TestTable3Anchors(t *testing.T) {
+	cases := []struct {
+		name     string
+		bytes    float64
+		shape    geom.Type
+		paperSec float64
+	}{
+		{"All Objects", 92e9, geom.TypePolygon, 4728},
+		{"Road Network", 137e9, geom.TypeLineString, 2873},
+		{"All Nodes", 96e9, geom.TypePoint, 3782},
+	}
+	for _, tc := range cases {
+		parse := ParseCost(tc.shape, int(tc.bytes))
+		if parse >= tc.paperSec {
+			t.Errorf("%s: parse share %.0f s exceeds the paper's total %.0f s", tc.name, parse, tc.paperSec)
+		}
+		if parse < 0.75*tc.paperSec-tc.paperSec*0.25 {
+			// parse share should carry most of the sequential time
+		}
+		ratio := parse / tc.paperSec
+		if ratio < 0.6 || ratio > 1.0 {
+			t.Errorf("%s: parse share is %.0f%% of the paper's time; want 60-100%%", tc.name, ratio*100)
+		}
+	}
+}
+
+// TestIndexCostsGrowWithSize checks the logarithmic R-tree cost shape.
+func TestIndexCostsGrowWithSize(t *testing.T) {
+	if IndexInsert(10) >= IndexInsert(10_000) {
+		t.Error("insert cost should grow with tree size")
+	}
+	// Logarithmic, not linear: doubling n adds a constant.
+	d1 := IndexInsert(2000) - IndexInsert(1000)
+	d2 := IndexInsert(4000) - IndexInsert(2000)
+	if math.Abs(d1-d2) > 0.1*d1 {
+		t.Errorf("insert growth should be logarithmic: deltas %.3g vs %.3g", d1, d2)
+	}
+	if IndexQuery(1000, 50) <= IndexQuery(1000, 0) {
+		t.Error("query cost should grow with candidates returned")
+	}
+}
+
+// TestRefineCostShape checks refinement scales with the vertex-count
+// product — why the paper's >100K-vertex polygons make refine dominate.
+func TestRefineCostShape(t *testing.T) {
+	small := RefineCost(4, 4)
+	big := RefineCost(100_000, 1000)
+	if big <= small {
+		t.Error("refine cost must grow with vertex product")
+	}
+	want := refineBase + refinePerVertexPair*100_000*1000
+	if math.Abs(big-want) > 1e-9 {
+		t.Errorf("refine cost = %.4g, want %.4g", big, want)
+	}
+}
+
+// TestAllCostsNonNegativeProperty: no parameter combination may produce a
+// negative or NaN duration.
+func TestAllCostsNonNegativeProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}
+	prop := func(n, k uint16, shape uint8) bool {
+		costs := []float64{
+			ParseCost(geom.Type(shape%8), int(n)),
+			IndexInsert(int(n)),
+			IndexQuery(int(n), int(k)),
+			RefineCost(int(n), int(k)),
+		}
+		for _, c := range costs {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStructBeatsContiguousDecode pins the Figure 12 ordering into the
+// constants: struct decoding must be cheaper than the contiguous path for
+// any record stream.
+func TestStructBeatsContiguousDecode(t *testing.T) {
+	const bytes, elems = 1 << 20, 1 << 15
+	structCost := StructDecodePerByte * bytes
+	contigCost := ContiguousDecodePerByte*bytes + ContiguousDecodePerElem*elems
+	if structCost >= contigCost {
+		t.Errorf("struct decode (%.3g) must beat contiguous (%.3g)", structCost, contigCost)
+	}
+}

@@ -1,0 +1,50 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestSerializeCostsByType: polygons carry the heaviest object graphs;
+// points the lightest. Multi-variants inherit their element class.
+func TestSerializeCostsByType(t *testing.T) {
+	serPoly := SerializeGeomCost(geom.TypePolygon)
+	serLine := SerializeGeomCost(geom.TypeLineString)
+	serPoint := SerializeGeomCost(geom.TypePoint)
+	if !(serPoly > serLine && serLine > serPoint && serPoint > 0) {
+		t.Errorf("serialize ordering: poly %.2g, line %.2g, point %.2g", serPoly, serLine, serPoint)
+	}
+	if SerializeGeomCost(geom.TypeMultiPolygon) != serPoly {
+		t.Error("multipolygon should serialize at the polygon rate")
+	}
+	if SerializeGeomCost(geom.TypeMultiPoint) != serPoint {
+		t.Error("multipoint should serialize at the point rate")
+	}
+	if SerializeGeomCost(geom.TypeMultiLineString) != serLine {
+		t.Error("multilinestring should serialize at the line rate")
+	}
+}
+
+// TestDeserializeCostsExceedSerialize: rebuilding an object graph costs
+// more than walking one, for every type.
+func TestDeserializeCostsExceedSerialize(t *testing.T) {
+	for _, ty := range []geom.Type{geom.TypePoint, geom.TypeLineString, geom.TypePolygon} {
+		if DeserializeGeomCost(ty) <= SerializeGeomCost(ty) {
+			t.Errorf("%v: deserialize (%.2g) should exceed serialize (%.2g)",
+				ty, DeserializeGeomCost(ty), SerializeGeomCost(ty))
+		}
+	}
+}
+
+// TestLineCheaperThanPolygonEnd2End pins the Figure 20 vs Figure 19
+// distinction: a line-record exchange must be modeled cheaper per object
+// than a polygon exchange of the same cardinality.
+func TestLineCheaperThanPolygonEnd2End(t *testing.T) {
+	const n = 1_000_000
+	lineCost := float64(n) * (SerializeGeomCost(geom.TypeLineString) + DeserializeGeomCost(geom.TypeLineString))
+	polyCost := float64(n) * (SerializeGeomCost(geom.TypePolygon) + DeserializeGeomCost(geom.TypePolygon))
+	if lineCost*2 > polyCost {
+		t.Errorf("line exchange (%.2f s) should be well under half the polygon exchange (%.2f s)", lineCost, polyCost)
+	}
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
+
+// TestRecordSizeBound: every generated record must respect the scaled
+// MaxRecordBytes bound — the invariant that sizes the overlap strategy's
+// halo and Algorithm 1's receive buffers.
+func TestRecordSizeBound(t *testing.T) {
+	for _, spec := range AllDatasets() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			scale := spec.DefaultScale * 4
+			var buf bytes.Buffer
+			stats, err := Generate(spec, scale, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := int64(float64(spec.MaxRecordBytes)/scale) + 128 // 128: WKT framing slack for the 4-vertex floor
+			if bound < 256 {
+				bound = 256
+			}
+			if stats.MaxRecordBytes > bound {
+				t.Errorf("max record %d bytes exceeds scaled bound %d", stats.MaxRecordBytes, bound)
+			}
+		})
+	}
+}
+
+// TestAllRecordsParse: every line of every preset must be valid WKT of the
+// declared shape class.
+func TestAllRecordsParse(t *testing.T) {
+	for _, spec := range AllDatasets() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := Generate(spec, spec.DefaultScale*16, &buf); err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(&buf)
+			sc.Buffer(make([]byte, 1<<22), 1<<22)
+			n := 0
+			for sc.Scan() {
+				g, err := wkt.Parse(sc.Bytes())
+				if err != nil {
+					t.Fatalf("record %d: %v", n, err)
+				}
+				if g.GeomType() != spec.Shape {
+					t.Fatalf("record %d: type %v, want %v", n, g.GeomType(), spec.Shape)
+				}
+				if g.Envelope().IsEmpty() {
+					t.Fatalf("record %d: empty envelope", n)
+				}
+				n++
+			}
+			if n == 0 {
+				t.Fatal("no records generated")
+			}
+		})
+	}
+}
+
+// TestWorldBounds: all coordinates stay inside the lon/lat world.
+func TestWorldBounds(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Generate(AllObjects(), AllObjects().DefaultScale*8, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<22), 1<<22)
+	world := geom.Envelope{MinX: -181, MinY: -91, MaxX: 181, MaxY: 91}
+	for sc.Scan() {
+		g, err := wkt.Parse(sc.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := g.Envelope()
+		// Polygon star radii may poke slightly past the clamped center;
+		// anything beyond a couple of degrees is a generator bug.
+		if e.MinX < world.MinX-2 || e.MaxX > world.MaxX+2 || e.MinY < world.MinY-2 || e.MaxY > world.MaxY+2 {
+			t.Fatalf("geometry escapes the world: %v", e)
+		}
+	}
+}
+
+// TestCrossDatasetCorrelation: different layers share cluster centers, so
+// the densest region of one dataset must hold a disproportionate share of
+// another — the property that gives spatial joins their candidate pairs.
+func TestCrossDatasetCorrelation(t *testing.T) {
+	centers := func(spec Spec, scale float64) []geom.Point {
+		var buf bytes.Buffer
+		if _, err := Generate(spec, scale, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(&buf)
+		sc.Buffer(make([]byte, 1<<22), 1<<22)
+		var out []geom.Point
+		for sc.Scan() {
+			g, err := wkt.Parse(sc.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, g.Envelope().Center())
+		}
+		return out
+	}
+	lakes := centers(Lakes(), Lakes().DefaultScale)
+	cems := centers(Cemetery(), Cemetery().DefaultScale)
+
+	// Find the densest 36-degree cell of the lakes layer.
+	counts := map[int]int{}
+	cellOf := func(p geom.Point) int { return int((p.X+180)/36) + 10*int((p.Y+90)/18) }
+	for _, p := range lakes {
+		counts[cellOf(p)]++
+	}
+	best, bestN := 0, 0
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	// The cemetery layer must also be over-represented there (>2x the
+	// uniform share of 1/50 cells).
+	inBest := 0
+	for _, p := range cems {
+		if cellOf(p) == best {
+			inBest++
+		}
+	}
+	if share := float64(inBest) / float64(len(cems)); share < 2.0/50 {
+		t.Errorf("cemetery share in lakes hotspot = %.3f; expected cross-layer correlation", share)
+	}
+}
+
+// TestDeterminism: identical (spec, scale) generate identical bytes.
+func TestDeterminism(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5, Rand: rand.New(rand.NewSource(2))}
+	prop := func(pick uint8) bool {
+		specs := AllDatasets()
+		spec := specs[int(pick)%len(specs)]
+		var a, b bytes.Buffer
+		if _, err := Generate(spec, spec.DefaultScale*32, &a); err != nil {
+			return false
+		}
+		if _, err := Generate(spec, spec.DefaultScale*32, &b); err != nil {
+			return false
+		}
+		return bytes.Equal(a.Bytes(), b.Bytes())
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package geom is the reproduction's geometry engine — the stand-in for the
+// GEOS C++ library that MPI-Vector-IO calls internally (paper §2). It
+// provides the OGC simple-feature types the paper's datasets use (points,
+// line strings, polygons and their Multi* collections), envelope (MBR)
+// algebra, and the intersection predicates needed by the filter-and-refine
+// framework.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type enumerates the supported OGC geometry types.
+type Type int
+
+const (
+	TypePoint Type = iota
+	TypeLineString
+	TypePolygon
+	TypeMultiPoint
+	TypeMultiLineString
+	TypeMultiPolygon
+)
+
+// String returns the WKT keyword for the type.
+func (t Type) String() string {
+	switch t {
+	case TypePoint:
+		return "POINT"
+	case TypeLineString:
+		return "LINESTRING"
+	case TypePolygon:
+		return "POLYGON"
+	case TypeMultiPoint:
+		return "MULTIPOINT"
+	case TypeMultiLineString:
+		return "MULTILINESTRING"
+	case TypeMultiPolygon:
+		return "MULTIPOLYGON"
+	default:
+		return fmt.Sprintf("TYPE(%d)", int(t))
+	}
+}
+
+// Geometry is the common interface of all shapes. It deliberately mirrors
+// the small slice of the GEOS Geometry class the paper's system relies on:
+// type inspection, bounding rectangles, and vertex counting (the unit of the
+// parsing and refinement cost models). UserData carries the non-spatial
+// attributes of a feature, as in GEOS (paper §4.3).
+type Geometry interface {
+	// GeomType returns the OGC type tag.
+	GeomType() Type
+	// Envelope returns the minimum bounding rectangle.
+	Envelope() Envelope
+	// NumPoints returns the total number of vertices.
+	NumPoints() int
+}
+
+// Point is a single 2D coordinate.
+type Point struct {
+	X, Y float64
+}
+
+// GeomType implements Geometry.
+func (p Point) GeomType() Type { return TypePoint }
+
+// Envelope implements Geometry; a point's MBR is degenerate.
+func (p Point) Envelope() Envelope { return Envelope{p.X, p.Y, p.X, p.Y} }
+
+// NumPoints implements Geometry.
+func (p Point) NumPoints() int { return 1 }
+
+// LineString is an ordered sequence of at least two vertices.
+type LineString struct {
+	Pts []Point
+}
+
+// GeomType implements Geometry.
+func (l *LineString) GeomType() Type { return TypeLineString }
+
+// Envelope implements Geometry.
+func (l *LineString) Envelope() Envelope { return envelopeOf(l.Pts) }
+
+// NumPoints implements Geometry.
+func (l *LineString) NumPoints() int { return len(l.Pts) }
+
+// Length returns the Euclidean length of the line.
+func (l *LineString) Length() float64 {
+	var sum float64
+	for i := 1; i < len(l.Pts); i++ {
+		sum += math.Hypot(l.Pts[i].X-l.Pts[i-1].X, l.Pts[i].Y-l.Pts[i-1].Y)
+	}
+	return sum
+}
+
+// Polygon is a shell ring with optional hole rings. Rings are closed: the
+// first and last vertex coincide, as in WKT.
+type Polygon struct {
+	Shell []Point
+	Holes [][]Point
+}
+
+// GeomType implements Geometry.
+func (p *Polygon) GeomType() Type { return TypePolygon }
+
+// Envelope implements Geometry (holes lie inside the shell by definition).
+func (p *Polygon) Envelope() Envelope { return envelopeOf(p.Shell) }
+
+// NumPoints implements Geometry.
+func (p *Polygon) NumPoints() int {
+	n := len(p.Shell)
+	for _, h := range p.Holes {
+		n += len(h)
+	}
+	return n
+}
+
+// Area returns the polygon area (shell minus holes), always non-negative.
+func (p *Polygon) Area() float64 {
+	a := math.Abs(ringArea(p.Shell))
+	for _, h := range p.Holes {
+		a -= math.Abs(ringArea(h))
+	}
+	return a
+}
+
+// ringArea returns the signed area of a closed ring via the shoelace formula.
+func ringArea(ring []Point) float64 {
+	var s float64
+	for i := 1; i < len(ring); i++ {
+		s += ring[i-1].X*ring[i].Y - ring[i].X*ring[i-1].Y
+	}
+	return s / 2
+}
+
+// MultiPoint is a collection of points.
+type MultiPoint struct {
+	Pts []Point
+}
+
+// GeomType implements Geometry.
+func (m *MultiPoint) GeomType() Type { return TypeMultiPoint }
+
+// Envelope implements Geometry.
+func (m *MultiPoint) Envelope() Envelope { return envelopeOf(m.Pts) }
+
+// NumPoints implements Geometry.
+func (m *MultiPoint) NumPoints() int { return len(m.Pts) }
+
+// MultiLineString is a collection of line strings.
+type MultiLineString struct {
+	Lines []LineString
+}
+
+// GeomType implements Geometry.
+func (m *MultiLineString) GeomType() Type { return TypeMultiLineString }
+
+// Envelope implements Geometry.
+func (m *MultiLineString) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for i := range m.Lines {
+		e = e.Union(m.Lines[i].Envelope())
+	}
+	return e
+}
+
+// NumPoints implements Geometry.
+func (m *MultiLineString) NumPoints() int {
+	n := 0
+	for i := range m.Lines {
+		n += m.Lines[i].NumPoints()
+	}
+	return n
+}
+
+// MultiPolygon is a collection of polygons.
+type MultiPolygon struct {
+	Polys []Polygon
+}
+
+// GeomType implements Geometry.
+func (m *MultiPolygon) GeomType() Type { return TypeMultiPolygon }
+
+// Envelope implements Geometry.
+func (m *MultiPolygon) Envelope() Envelope {
+	e := EmptyEnvelope()
+	for i := range m.Polys {
+		e = e.Union(m.Polys[i].Envelope())
+	}
+	return e
+}
+
+// NumPoints implements Geometry.
+func (m *MultiPolygon) NumPoints() int {
+	n := 0
+	for i := range m.Polys {
+		n += m.Polys[i].NumPoints()
+	}
+	return n
+}
+
+// Feature pairs a geometry with its non-spatial attributes, mirroring how
+// the paper stashes attribute text in the GEOS userdata field (§4.3).
+type Feature struct {
+	Geom     Geometry
+	UserData string
+}
+
+func envelopeOf(pts []Point) Envelope {
+	e := EmptyEnvelope()
+	for _, p := range pts {
+		e = e.ExpandToPoint(p.X, p.Y)
+	}
+	return e
+}

@@ -1,0 +1,241 @@
+package geom
+
+// This file implements the "intersects" spatial predicate for every pair of
+// supported geometry types. Intersects is the predicate θ of the paper's
+// spatial join definition (§2): it returns true iff the two shapes share any
+// portion of space. The refine phase of filter-and-refine calls these exact
+// routines after the MBR filter has discarded the cheap negatives.
+
+// Intersects reports whether geometries a and b share at least one point.
+// An envelope pre-test short-circuits disjoint pairs, mirroring the filter
+// step GEOS applies internally.
+func Intersects(a, b Geometry) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if !a.Envelope().Intersects(b.Envelope()) {
+		return false
+	}
+	// Distribute multi-geometries over their components first, so the simple
+	// pairwise cases below never see a Multi* operand.
+	if hit, ok := distribute(a, b); ok {
+		return hit
+	}
+	if hit, ok := distribute(b, a); ok {
+		return hit
+	}
+	// Normalize so the switch below only handles ordered simple type pairs.
+	if a.GeomType() > b.GeomType() {
+		a, b = b, a
+	}
+	switch g := a.(type) {
+	case Point:
+		return pointIntersects(g, b)
+	case *LineString:
+		return lineIntersects(g, b)
+	case *Polygon:
+		other, ok := b.(*Polygon)
+		return ok && polygonsIntersect(g, other)
+	default:
+		return false
+	}
+}
+
+// distribute expands a Multi* left operand into per-component Intersects
+// calls. The second result reports whether a was a multi-geometry.
+func distribute(a, b Geometry) (hit, ok bool) {
+	switch g := a.(type) {
+	case *MultiPoint:
+		for _, p := range g.Pts {
+			if Intersects(p, b) {
+				return true, true
+			}
+		}
+		return false, true
+	case *MultiLineString:
+		for i := range g.Lines {
+			if Intersects(&g.Lines[i], b) {
+				return true, true
+			}
+		}
+		return false, true
+	case *MultiPolygon:
+		for i := range g.Polys {
+			if Intersects(&g.Polys[i], b) {
+				return true, true
+			}
+		}
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// pointIntersects handles point vs. simple type with GeomType >= TypePoint.
+func pointIntersects(p Point, b Geometry) bool {
+	switch g := b.(type) {
+	case Point:
+		return p == g
+	case *LineString:
+		return pointOnLine(p, g.Pts)
+	case *Polygon:
+		return PointInPolygon(p, g)
+	default:
+		return false
+	}
+}
+
+// lineIntersects handles line vs. {line, polygon}.
+func lineIntersects(l *LineString, b Geometry) bool {
+	switch g := b.(type) {
+	case *LineString:
+		return polylinesCross(l.Pts, g.Pts)
+	case *Polygon:
+		return linePolygonIntersects(l, g)
+	default:
+		return false
+	}
+}
+
+// PointInPolygon reports whether p lies inside the polygon or on its
+// boundary, using the even-odd ray crossing rule with an explicit boundary
+// test (boundary points count as intersecting under OGC semantics).
+func PointInPolygon(p Point, poly *Polygon) bool {
+	if !poly.Envelope().ContainsPoint(p.X, p.Y) {
+		return false
+	}
+	if pointOnRing(p, poly.Shell) {
+		return true
+	}
+	if !pointInRing(p, poly.Shell) {
+		return false
+	}
+	for _, h := range poly.Holes {
+		if pointOnRing(p, h) {
+			return true // hole boundary belongs to the polygon
+		}
+		if pointInRing(p, h) {
+			return false // strictly inside a hole
+		}
+	}
+	return true
+}
+
+// pointInRing is the classic even-odd crossing count (boundary excluded).
+func pointInRing(p Point, ring []Point) bool {
+	inside := false
+	n := len(ring)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		yi, yj := ring[i].Y, ring[j].Y
+		if (yi > p.Y) != (yj > p.Y) {
+			xCross := ring[j].X + (p.Y-yj)/(yi-yj)*(ring[i].X-ring[j].X)
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+func pointOnRing(p Point, ring []Point) bool { return pointOnLine(p, ring) }
+
+// pointOnLine reports whether p lies on any segment of the polyline.
+func pointOnLine(p Point, pts []Point) bool {
+	for i := 1; i < len(pts); i++ {
+		if onSegment(pts[i-1], pts[i], p) {
+			return true
+		}
+	}
+	return false
+}
+
+// polylinesCross reports whether any segment of a intersects any segment of
+// b. Envelope pre-tests per segment keep the O(n*m) loop cheap; the paper's
+// workloads call this only on filter survivors inside a single grid cell.
+func polylinesCross(a, b []Point) bool {
+	for i := 1; i < len(a); i++ {
+		segEnv := segmentEnvelope(a[i-1], a[i])
+		for j := 1; j < len(b); j++ {
+			if !segEnv.Intersects(segmentEnvelope(b[j-1], b[j])) {
+				continue
+			}
+			if SegmentsIntersect(a[i-1], a[i], b[j-1], b[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func segmentEnvelope(a, b Point) Envelope {
+	e := Envelope{a.X, a.Y, a.X, a.Y}
+	return e.ExpandToPoint(b.X, b.Y)
+}
+
+// linePolygonIntersects: a line meets a polygon if an endpoint is inside it
+// or any segment crosses the shell or a hole ring.
+func linePolygonIntersects(l *LineString, poly *Polygon) bool {
+	if len(l.Pts) == 0 {
+		return false
+	}
+	if PointInPolygon(l.Pts[0], poly) {
+		return true
+	}
+	if polylinesCross(l.Pts, poly.Shell) {
+		return true
+	}
+	for _, h := range poly.Holes {
+		if polylinesCross(l.Pts, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// polygonsIntersect: boundaries cross, or one polygon contains the other.
+func polygonsIntersect(a, b *Polygon) bool {
+	if polylinesCross(a.Shell, b.Shell) {
+		return true
+	}
+	// No boundary crossing: either disjoint or one inside the other.
+	if len(b.Shell) > 0 && PointInPolygon(b.Shell[0], a) {
+		return true
+	}
+	if len(a.Shell) > 0 && PointInPolygon(a.Shell[0], b) {
+		return true
+	}
+	return false
+}
+
+// orientation returns >0 if (a,b,c) turn counter-clockwise, <0 clockwise,
+// 0 if collinear.
+func orientation(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether collinearity-tested point p lies on segment ab.
+func onSegment(a, b, p Point) bool {
+	if orientation(a, b, p) != 0 {
+		return false
+	}
+	return min(a.X, b.X) <= p.X && p.X <= max(a.X, b.X) &&
+		min(a.Y, b.Y) <= p.Y && p.Y <= max(a.Y, b.Y)
+}
+
+// SegmentsIntersect reports whether closed segments p1p2 and p3p4 share a
+// point, including collinear overlap and endpoint touching.
+func SegmentsIntersect(p1, p2, p3, p4 Point) bool {
+	d1 := orientation(p3, p4, p1)
+	d2 := orientation(p3, p4, p2)
+	d3 := orientation(p1, p2, p3)
+	d4 := orientation(p1, p2, p4)
+
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(p3, p4, p1)) ||
+		(d2 == 0 && onSegment(p3, p4, p2)) ||
+		(d3 == 0 && onSegment(p1, p2, p3)) ||
+		(d4 == 0 && onSegment(p1, p2, p4))
+}

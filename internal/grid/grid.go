@@ -1,0 +1,184 @@
+// Package grid implements the uniform cellular decomposition at the heart
+// of the paper's spatial partitioning (§4, Figures 1-2): geometries read
+// from a file partition are projected onto a grid of cells; a geometry
+// overlapping several cells is replicated into each of them (duplicates are
+// culled later, in the refine phase); and cells are mapped to ranks —
+// round-robin by default — to decluster skewed data for load balance
+// (Figure 5, [Shekhar et al.]).
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Grid is a Cols x Rows uniform decomposition of a world envelope. Cell ids
+// are row-major: id = row*Cols + col, with (0,0) at (MinX, MinY).
+type Grid struct {
+	env        geom.Envelope
+	cols, rows int
+	cellW      float64
+	cellH      float64
+}
+
+// New builds a grid over env. The envelope must be non-empty and the
+// dimensions positive.
+func New(env geom.Envelope, cols, rows int) (*Grid, error) {
+	if env.IsEmpty() {
+		return nil, fmt.Errorf("grid: empty world envelope")
+	}
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("grid: invalid dimensions %dx%d", cols, rows)
+	}
+	w := env.Width()
+	h := env.Height()
+	if w == 0 || h == 0 {
+		// Degenerate world (single point or line): inflate so every
+		// geometry still lands in a valid cell.
+		env = env.ExpandBy(0.5)
+		w, h = env.Width(), env.Height()
+	}
+	return &Grid{
+		env:  env,
+		cols: cols, rows: rows,
+		cellW: w / float64(cols),
+		cellH: h / float64(rows),
+	}, nil
+}
+
+// Env returns the world envelope.
+func (g *Grid) Env() geom.Envelope { return g.env }
+
+// Cols returns the number of columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Rows returns the number of rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// NumCells returns Cols*Rows.
+func (g *Grid) NumCells() int { return g.cols * g.rows }
+
+// CellEnv returns the envelope of cell id. Border cells extend exactly to
+// the grid envelope's edges, so the cells tile the envelope with no
+// floating-point slack — a geometry on the outer boundary always
+// intersects at least one cell rectangle.
+func (g *Grid) CellEnv(id int) geom.Envelope {
+	col := id % g.cols
+	row := id / g.cols
+	e := geom.Envelope{
+		MinX: g.env.MinX + float64(col)*g.cellW,
+		MinY: g.env.MinY + float64(row)*g.cellH,
+		MaxX: g.env.MinX + float64(col+1)*g.cellW,
+		MaxY: g.env.MinY + float64(row+1)*g.cellH,
+	}
+	if col == g.cols-1 {
+		e.MaxX = g.env.MaxX
+	}
+	if row == g.rows-1 {
+		e.MaxY = g.env.MaxY
+	}
+	return e
+}
+
+// clampCol maps an x coordinate to a column, clamping outside points to the
+// border cells.
+func (g *Grid) clampCol(x float64) int {
+	c := int((x - g.env.MinX) / g.cellW)
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *Grid) clampRow(y float64) int {
+	r := int((y - g.env.MinY) / g.cellH)
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+// CellAt returns the id of the cell containing point (x, y), clamped to the
+// grid borders.
+func (g *Grid) CellAt(x, y float64) int {
+	return g.clampRow(y)*g.cols + g.clampCol(x)
+}
+
+// CellsFor returns the ids of every cell whose area overlaps envelope e —
+// the replication set of a geometry with MBR e. Empty envelopes map to no
+// cells.
+func (g *Grid) CellsFor(e geom.Envelope) []int {
+	if e.IsEmpty() {
+		return nil
+	}
+	c0, c1 := g.clampCol(e.MinX), g.clampCol(e.MaxX)
+	r0, r1 := g.clampRow(e.MinY), g.clampRow(e.MaxY)
+	out := make([]int, 0, (c1-c0+1)*(r1-r0+1))
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			out = append(out, r*g.cols+c)
+		}
+	}
+	return out
+}
+
+// RefCell returns the cell containing the reference point (the lower-left
+// corner) of envelope e. Reporting a replicated pair only from the cell
+// containing the reference point of the pair's MBR intersection is the
+// standard duplicate-avoidance rule the paper applies in the refinement
+// phase (§4).
+func (g *Grid) RefCell(e geom.Envelope) int {
+	return g.CellAt(e.MinX, e.MinY)
+}
+
+// CellIndex is an R-tree over the grid's cell boundaries. The paper builds
+// exactly this index — "an R-tree is first built by inserting the
+// individual cell boundaries" (§4) — and queries it with each geometry's
+// MBR; for a uniform grid the arithmetic in CellsFor gives identical
+// results, and tests assert the equivalence.
+type CellIndex struct {
+	tree *rtree.Tree[int]
+}
+
+// NewCellIndex bulk-loads the R-tree of all cell boundaries.
+func NewCellIndex(g *Grid) *CellIndex {
+	items := make([]rtree.Item[int], g.NumCells())
+	for id := 0; id < g.NumCells(); id++ {
+		items[id] = rtree.Item[int]{Env: g.CellEnv(id), Value: id}
+	}
+	return &CellIndex{tree: rtree.BulkLoad(items)}
+}
+
+// CellsFor returns the ids of cells whose boundary intersects e, via the
+// R-tree query path.
+func (ci *CellIndex) CellsFor(e geom.Envelope) []int {
+	if e.IsEmpty() {
+		return nil
+	}
+	return ci.tree.Query(e)
+}
+
+// RoundRobin is the default cell-to-rank mapping (§4.2.3): cell k belongs
+// to rank k mod size.
+func RoundRobin(cell, size int) int { return cell % size }
+
+// BlockMapping assigns contiguous runs of cells to ranks — the contrast
+// case of Figure 5a (coarse spatial partitioning, poor balance under skew).
+func BlockMapping(numCells int) func(cell, size int) int {
+	return func(cell, size int) int {
+		per := (numCells + size - 1) / size
+		r := cell / per
+		if r >= size {
+			r = size - 1
+		}
+		return r
+	}
+}

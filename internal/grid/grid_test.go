@@ -1,0 +1,205 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func world() geom.Envelope { return geom.Envelope{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.EmptyEnvelope(), 4, 4); err == nil {
+		t.Error("empty envelope accepted")
+	}
+	if _, err := New(world(), 0, 4); err == nil {
+		t.Error("zero cols accepted")
+	}
+	if _, err := New(world(), 4, -1); err == nil {
+		t.Error("negative rows accepted")
+	}
+	g, err := New(geom.Envelope{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}, 2, 2)
+	if err != nil {
+		t.Fatalf("degenerate world rejected: %v", err)
+	}
+	if g.CellsFor(geom.Envelope{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}) == nil {
+		t.Error("point world cannot place points")
+	}
+}
+
+func TestCellGeometry(t *testing.T) {
+	g, _ := New(world(), 4, 2) // cells 25x50
+	if g.NumCells() != 8 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	if g.CellEnv(0) != (geom.Envelope{MinX: 0, MinY: 0, MaxX: 25, MaxY: 50}) {
+		t.Errorf("cell 0 = %+v", g.CellEnv(0))
+	}
+	if g.CellEnv(7) != (geom.Envelope{MinX: 75, MinY: 50, MaxX: 100, MaxY: 100}) {
+		t.Errorf("cell 7 = %+v", g.CellEnv(7))
+	}
+	// The union of all cells is the world.
+	u := geom.EmptyEnvelope()
+	for i := 0; i < g.NumCells(); i++ {
+		u = u.Union(g.CellEnv(i))
+	}
+	if u != world() {
+		t.Errorf("cells do not tile the world: %+v", u)
+	}
+}
+
+func TestCellAt(t *testing.T) {
+	g, _ := New(world(), 10, 10)
+	cases := []struct {
+		x, y float64
+		want int
+	}{
+		{0, 0, 0},
+		{5, 5, 0},
+		{15, 5, 1},
+		{5, 15, 10},
+		{99, 99, 99},
+		{100, 100, 99}, // clamped at max corner
+		{-5, -5, 0},    // clamped below
+		{105, 50, 59},  // clamped right: col 9, row 5
+	}
+	for _, c := range cases {
+		if got := g.CellAt(c.x, c.y); got != c.want {
+			t.Errorf("CellAt(%v,%v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCellsForReplication(t *testing.T) {
+	g, _ := New(world(), 10, 10)
+	// Entirely inside one cell.
+	got := g.CellsFor(geom.Envelope{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("inside-one-cell = %v", got)
+	}
+	// Spanning a 2x2 block of cells.
+	got = g.CellsFor(geom.Envelope{MinX: 8, MinY: 8, MaxX: 12, MaxY: 12})
+	if !reflect.DeepEqual(got, []int{0, 1, 10, 11}) {
+		t.Errorf("2x2 span = %v", got)
+	}
+	// Off-grid envelopes clamp to border cells.
+	got = g.CellsFor(geom.Envelope{MinX: -10, MinY: -10, MaxX: -5, MaxY: -5})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("off-grid = %v", got)
+	}
+	if g.CellsFor(geom.EmptyEnvelope()) != nil {
+		t.Error("empty envelope should map to no cells")
+	}
+}
+
+func TestRefCellDuplicateAvoidance(t *testing.T) {
+	g, _ := New(world(), 10, 10)
+	e := geom.Envelope{MinX: 8, MinY: 8, MaxX: 12, MaxY: 12}
+	cells := g.CellsFor(e)
+	ref := g.RefCell(e)
+	if ref != 0 {
+		t.Errorf("RefCell = %d, want 0 (lower-left)", ref)
+	}
+	// The reference cell must be among the replicated cells.
+	found := false
+	for _, c := range cells {
+		if c == ref {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reference cell not in replication set")
+	}
+}
+
+// Property: the arithmetic cell mapper and the R-tree cell index (the
+// paper's construction) agree for random envelopes.
+func TestCellIndexMatchesArithmetic(t *testing.T) {
+	g, _ := New(world(), 16, 12)
+	ci := NewCellIndex(g)
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(31))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := r.Float64()*110-5, r.Float64()*110-5
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + r.Float64()*30, MaxY: y + r.Float64()*30}
+		a := g.CellsFor(e)
+		b := ci.CellsFor(e)
+		sort.Ints(b)
+		if !e.Intersects(g.Env()) {
+			// Fully off-world envelopes: the arithmetic path clamps to a
+			// border cell (so clamped data still lands somewhere); the
+			// R-tree correctly reports no intersection.
+			return len(b) == 0
+		}
+		// On-world: the R-tree result must cover the arithmetic cells and
+		// only add boundary-touching ones.
+		bm := map[int]bool{}
+		for _, c := range b {
+			bm[c] = true
+		}
+		for _, c := range a {
+			if !bm[c] {
+				return false
+			}
+		}
+		for _, c := range b {
+			if !g.CellEnv(c).Intersects(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("cell index mismatch: %v", err)
+	}
+}
+
+func TestReplicationInvariant(t *testing.T) {
+	// Every cell in CellsFor(e) genuinely overlaps e, and every other cell
+	// does not strictly overlap e's interior.
+	g, _ := New(world(), 8, 8)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x, y := r.Float64()*90, r.Float64()*90
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + r.Float64()*20, MaxY: y + r.Float64()*20}
+		cells := g.CellsFor(e)
+		inSet := map[int]bool{}
+		for _, c := range cells {
+			inSet[c] = true
+			if !g.CellEnv(c).Intersects(e) {
+				t.Fatalf("cell %d in replication set does not intersect %+v", c, e)
+			}
+		}
+		for c := 0; c < g.NumCells(); c++ {
+			if inSet[c] {
+				continue
+			}
+			inter := g.CellEnv(c).Intersection(e)
+			if !inter.IsEmpty() && inter.Area() > 0 {
+				t.Fatalf("cell %d overlaps %+v but is not in replication set", c, e)
+			}
+		}
+	}
+}
+
+func TestMappings(t *testing.T) {
+	if RoundRobin(7, 4) != 3 || RoundRobin(8, 4) != 0 {
+		t.Error("round robin mapping wrong")
+	}
+	bm := BlockMapping(10)
+	// 10 cells over 4 ranks: 3 cells per rank (ceil), last rank gets one.
+	wants := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for c, want := range wants {
+		if got := bm(c, 4); got != want {
+			t.Errorf("block mapping cell %d = %d, want %d", c, got, want)
+		}
+	}
+	// Never exceeds size-1.
+	if bm(9, 2) != 1 {
+		t.Errorf("block mapping overflow: %d", bm(9, 2))
+	}
+}

@@ -1,0 +1,26 @@
+package mpi
+
+import "errors"
+
+var (
+	// ErrDeadlock is returned when a blocking operation waits longer than
+	// the world's watchdog timeout — with the synchronous rendezvous
+	// protocol this almost always means a genuine communication deadlock
+	// (e.g. a ring of blocking sends with no posted receives, the hazard
+	// the paper's Algorithm 1 avoids with its even/odd split).
+	ErrDeadlock = errors.New("mpi: deadlock suspected (blocking operation timed out)")
+
+	// ErrAborted is returned from blocked operations when another rank
+	// failed and the world was torn down.
+	ErrAborted = errors.New("mpi: world aborted")
+
+	// ErrTruncate is returned by Recv when the matched message is larger
+	// than the receive buffer (MPI_ERR_TRUNCATE).
+	ErrTruncate = errors.New("mpi: message truncated (receive buffer too small)")
+
+	// ErrRank is returned for out-of-range rank arguments.
+	ErrRank = errors.New("mpi: rank out of range")
+
+	// ErrCount is returned for negative or inconsistent count arguments.
+	ErrCount = errors.New("mpi: invalid count")
+)

@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+)
+
+// message is one in-flight point-to-point message. For eager messages, data
+// is a private copy and done is nil. For rendezvous messages, data aliases
+// the sender's buffer (safe: the sender blocks on done until the receiver
+// has copied it) and done carries the completion virtual time back.
+type message struct {
+	src, tag int
+	data     []byte
+	// arrival is the virtual time at which the payload is available at the
+	// receiver (eager protocol), or the sender's virtual time at the moment
+	// the rendezvous envelope was posted.
+	arrival float64
+	done    chan float64 // nil for eager
+}
+
+// mailbox is one rank's unexpected-message queue plus the wait machinery.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// enqueue posts a message and wakes any waiting receiver.
+func (mb *mailbox) enqueue(m *message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// wakeAll prods blocked receivers so they can re-check deadlines/aborts.
+func (mb *mailbox) wakeAll() { mb.cond.Broadcast() }
+
+// match returns the index of the first queued message matching src/tag
+// (with wildcards), or -1. Caller holds mb.mu.
+func (mb *mailbox) match(src, tag int) int {
+	for i, m := range mb.queue {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// take removes and returns the message at index i. Caller holds mb.mu.
+func (mb *mailbox) take(i int) *message {
+	m := mb.queue[i]
+	mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+	return m
+}
+
+// remove withdraws a specific queued message (a sender abandoning a
+// rendezvous). It reports whether the message was still unmatched.
+func (mb *mailbox) remove(m *message) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, q := range mb.queue {
+		if q == m {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// await blocks until a matching message is queued, then removes and returns
+// it (peek=false) or returns it in place (peek=true). It fails with
+// ErrDeadlock after the world timeout and with ErrAborted if the world dies.
+func (mb *mailbox) await(w *World, src, tag int, peek bool) (*message, error) {
+	deadline := time.Now().Add(w.timeout)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if i := mb.match(src, tag); i >= 0 {
+			if peek {
+				return mb.queue[i], nil
+			}
+			return mb.take(i), nil
+		}
+		if w.aborted() {
+			return nil, ErrAborted
+		}
+		if time.Now().After(deadline) {
+			return nil, ErrDeadlock
+		}
+		mb.cond.Wait()
+	}
+}

@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Status reports the outcome of a receive or probe, mirroring MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	// Count is the message payload size in bytes (use GetCount for typed
+	// element counts, as with MPI_Get_count).
+	Count int
+}
+
+// GetCount returns how many elements of datatype dt the message carried,
+// the equivalent of MPI_Get_count. It errors if the byte count is not a
+// whole number of elements.
+func (s Status) GetCount(dt *Datatype) (int, error) {
+	if dt.Size() == 0 {
+		return 0, fmt.Errorf("mpi: zero-size datatype in GetCount")
+	}
+	if s.Count%dt.Size() != 0 {
+		return 0, fmt.Errorf("mpi: message size %d is not a multiple of %s (%d bytes)",
+			s.Count, dt.Name(), dt.Size())
+	}
+	return s.Count / dt.Size(), nil
+}
+
+// Send transmits buf to rank dst with the given tag. Messages up to the
+// eager limit are buffered and Send returns immediately (in virtual time it
+// pays only the injection overhead); larger messages use the rendezvous
+// protocol and block until the matching Recv has copied the data, exactly
+// the semantics that make unordered blocking sends deadlock-prone in MPI.
+func (c *Comm) Send(buf []byte, dst, tag int) error {
+	if dst < 0 || dst >= c.world.n {
+		return fmt.Errorf("%w: send to %d of %d", ErrRank, dst, c.world.n)
+	}
+	c.bytesSent += int64(len(buf))
+	c.msgsSent++
+	if len(buf) <= eagerLimit {
+		// Sender pays only the injection overhead for eager messages; the
+		// payload arrives one transfer time after that.
+		c.clock.Advance(c.sendOverhead(dst))
+		data := make([]byte, len(buf))
+		copy(data, buf)
+		m := &message{
+			src: c.rank, tag: tag, data: data,
+			arrival: c.clock.Now() + c.world.cfg.MsgTime(c.rank, dst, len(buf)),
+		}
+		c.world.boxes[dst].enqueue(m)
+		return nil
+	}
+	done := make(chan float64, 1)
+	m := &message{
+		src: c.rank, tag: tag, data: buf,
+		arrival: c.clock.Now(),
+		done:    done,
+	}
+	box := c.world.boxes[dst]
+	box.enqueue(m)
+	timer := time.NewTimer(c.world.timeout)
+	defer timer.Stop()
+	select {
+	case end := <-done:
+		c.clock.AdvanceTo(end)
+		return nil
+	case <-c.world.abortCh:
+		// The receiver may still be about to match the message; withdraw it
+		// so nobody reads a buffer the caller is free to reuse.
+		if !box.remove(m) {
+			// Already matched: wait for the receiver to finish the copy.
+			<-done
+		}
+		return ErrAborted
+	case <-timer.C:
+		if !box.remove(m) {
+			end := <-done
+			c.clock.AdvanceTo(end)
+			return nil
+		}
+		return ErrDeadlock
+	}
+}
+
+// sendOverhead is the sender-side injection overhead toward dst.
+func (c *Comm) sendOverhead(dst int) float64 {
+	if c.world.cfg.SameNode(c.rank, dst) {
+		return c.world.cfg.IntraLatency
+	}
+	return c.world.cfg.InterLatency
+}
+
+// isend transmits buf without ever blocking, regardless of size (a private
+// buffered send used by collective algorithms, as real MPI implementations
+// use nonblocking internals). The payload is copied.
+func (c *Comm) isend(buf []byte, dst, tag int) {
+	c.bytesSent += int64(len(buf))
+	c.msgsSent++
+	c.clock.Advance(c.sendOverhead(dst))
+	data := make([]byte, len(buf))
+	copy(data, buf)
+	m := &message{
+		src: c.rank, tag: tag, data: data,
+		arrival: c.clock.Now() + c.world.cfg.MsgTime(c.rank, dst, len(buf)),
+	}
+	c.world.boxes[dst].enqueue(m)
+}
+
+// Recv blocks until a message matching src/tag (AnySource/AnyTag wildcards
+// allowed) arrives, copies its payload into buf, and returns the status.
+// A message longer than buf fails with ErrTruncate.
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	if src != AnySource && (src < 0 || src >= c.world.n) {
+		return Status{}, fmt.Errorf("%w: recv from %d of %d", ErrRank, src, c.world.n)
+	}
+	m, err := c.world.boxes[c.rank].await(c.world, src, tag, false)
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
+	if len(m.data) > len(buf) {
+		if m.done != nil {
+			m.done <- c.clock.Now() // release the blocked sender regardless
+		}
+		return st, fmt.Errorf("%w: got %d bytes, buffer holds %d", ErrTruncate, len(m.data), len(buf))
+	}
+	copy(buf, m.data)
+	if m.done != nil {
+		// Rendezvous: the transfer starts when both sides are ready.
+		start := simtime.Max(m.arrival, c.clock.Now())
+		end := start + c.world.cfg.MsgTime(m.src, c.rank, len(m.data))
+		c.clock.AdvanceTo(end)
+		m.done <- end
+	} else {
+		// Eager: payload was already on its way; wait for its arrival.
+		c.clock.AdvanceTo(m.arrival)
+	}
+	return st, nil
+}
+
+// Probe blocks until a matching message is available without consuming it,
+// so the caller can size a receive buffer first (MPI_Probe + MPI_Get_count,
+// the pattern the paper describes for unknown-size geometry fragments).
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	if src != AnySource && (src < 0 || src >= c.world.n) {
+		return Status{}, fmt.Errorf("%w: probe from %d of %d", ErrRank, src, c.world.n)
+	}
+	m, err := c.world.boxes[c.rank].await(c.world, src, tag, true)
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{Source: m.src, Tag: m.tag, Count: len(m.data)}, nil
+}
+
+// SendRecv performs a combined send and receive that cannot deadlock, like
+// MPI_Sendrecv. The send side is buffered; the receive blocks as usual.
+func (c *Comm) SendRecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) (Status, error) {
+	if dst < 0 || dst >= c.world.n {
+		return Status{}, fmt.Errorf("%w: sendrecv to %d of %d", ErrRank, dst, c.world.n)
+	}
+	c.isend(sendBuf, dst, sendTag)
+	return c.Recv(recvBuf, src, recvTag)
+}

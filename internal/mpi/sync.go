@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// syncHub implements WorldSync: a zero-virtual-time rendezvous of all ranks
+// used by the simulation layers (notably the filesystem model) to compute
+// deterministic batch outcomes for operations that are concurrent in
+// virtual time. It is an artifact of the simulation, not an MPI feature,
+// and charges no virtual time.
+type syncHub struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	sessions map[string]*syncSession
+}
+
+type syncSession struct {
+	arrived  int
+	departed int
+	inputs   []any
+	outputs  []any
+	done     bool
+}
+
+func newSyncHub(n int) *syncHub {
+	h := &syncHub{n: n, sessions: make(map[string]*syncSession)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *syncHub) wakeAll() { h.cond.Broadcast() }
+
+// WorldSync blocks until every rank has called it with the same key, then
+// runs compute exactly once (on the last arriving rank) over the inputs
+// indexed by rank, and hands outputs[rank] back to each rank. Ranks may
+// reuse a key for successive rounds; rounds are kept separate.
+func (c *Comm) WorldSync(key string, input any, compute func(inputs []any) []any) (any, error) {
+	w := c.world
+	h := w.syncHub
+	deadline := time.Now().Add(w.timeout)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Wait for any previous round on this key to fully drain.
+	for {
+		s := h.sessions[key]
+		if s == nil || !s.done {
+			break
+		}
+		if err := h.checkLiveness(w, deadline); err != nil {
+			return nil, err
+		}
+		h.cond.Wait()
+	}
+	s := h.sessions[key]
+	if s == nil {
+		s = &syncSession{inputs: make([]any, h.n)}
+		h.sessions[key] = s
+	}
+	s.inputs[c.rank] = input
+	s.arrived++
+	if s.arrived == h.n {
+		outs := compute(s.inputs)
+		if len(outs) != h.n {
+			return nil, fmt.Errorf("mpi: WorldSync(%q) compute returned %d outputs for %d ranks",
+				key, len(outs), h.n)
+		}
+		s.outputs = outs
+		s.done = true
+		h.cond.Broadcast()
+	} else {
+		for !s.done {
+			if err := h.checkLiveness(w, deadline); err != nil {
+				return nil, err
+			}
+			h.cond.Wait()
+		}
+	}
+	out := s.outputs[c.rank]
+	s.departed++
+	if s.departed == h.n {
+		delete(h.sessions, key)
+		h.cond.Broadcast()
+	}
+	return out, nil
+}
+
+// checkLiveness converts aborts and watchdog expiry into errors. Caller
+// holds h.mu.
+func (h *syncHub) checkLiveness(w *World, deadline time.Time) error {
+	if w.aborted() {
+		return ErrAborted
+	}
+	if time.Now().After(deadline) {
+		return ErrDeadlock
+	}
+	return nil
+}

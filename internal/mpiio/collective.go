@@ -1,0 +1,286 @@
+package mpiio
+
+import (
+	"io"
+
+	"repro/internal/pfs"
+)
+
+// readPlan is the deterministic outcome of the request-exchange phase of a
+// collective read: every rank computes/receives the same plan and executes
+// its role in it. File domains are stripe-cyclic, as in ROMIO's Lustre
+// driver: aggregator k owns the stripes s with s % aggCount == k, so
+// concurrent aggregators always address disjoint OST sets and never resonate
+// on a single storage target.
+type readPlan struct {
+	reqs     []span // requested [off,len) per rank, EOF-clamped
+	lo, hi   int64  // covered file range
+	aggRanks []int  // aggregator ranks, one per selected aggregator node
+
+	stripeReal      int64 // stripe width in real bytes (>= 1)
+	s0              int64 // first stripe index overlapping [lo, hi)
+	cycleLen        int64 // real bytes per aggregator per cycle
+	cyclesPerStripe int   // buffering cycles needed to cover one stripe
+	cycles          int   // total buffering cycles
+
+	// aggTime[c][k] is the modeled read duration of aggregator k in
+	// cycle c.
+	aggTime [][]float64
+	err     error
+}
+
+type span struct {
+	off, length int64
+}
+
+func (s span) end() int64 { return s.off + s.length }
+
+// overlap returns the intersection of two spans.
+func (s span) overlap(o span) span {
+	lo := max(s.off, o.off)
+	hi := min(s.end(), o.end())
+	if hi <= lo {
+		return span{off: lo, length: 0}
+	}
+	return span{off: lo, length: hi - lo}
+}
+
+// lustreAggregators reproduces the ROMIO-on-Lustre reader selection the
+// paper reverse-engineers in §5.1.1: the reader count equals the node count
+// when the stripe count is a multiple of the node count; otherwise it is
+// the largest divisor of the stripe count not exceeding the node count
+// (24 nodes reading from 64 OSTs get 16 readers; 48 nodes get 32).
+func lustreAggregators(nodes, stripeCount int) int {
+	if nodes <= 0 {
+		return 1
+	}
+	if stripeCount%nodes == 0 {
+		return nodes
+	}
+	best := 1
+	for d := 1; d <= stripeCount && d <= nodes; d++ {
+		if stripeCount%d == 0 {
+			best = d
+		}
+	}
+	return best
+}
+
+// aggregatorCount applies the filesystem-specific ROMIO default, bounded by
+// the cb_nodes hint.
+func (f *File) aggregatorCount() int {
+	cfg := f.comm.Config()
+	nodes := cfg.Nodes
+	if f.hint.CBNodes > 0 && f.hint.CBNodes < nodes {
+		nodes = f.hint.CBNodes
+	}
+	switch f.pf.Params().Kind {
+	case pfs.Lustre:
+		return lustreAggregators(nodes, f.pf.StripeCount())
+	case pfs.NFS:
+		return 1
+	default: // GPFS: one aggregator per node
+		return nodes
+	}
+}
+
+// buildPlan computes the full two-phase plan from all ranks' requests. Runs
+// once (inside WorldSync) and is shared read-only by all ranks.
+func (f *File) buildPlan(reqs []span) *readPlan {
+	p := &readPlan{reqs: reqs}
+	size := f.pf.Size()
+	lo, hi := int64(-1), int64(0)
+	for i := range reqs {
+		// Clamp to EOF for data purposes.
+		if reqs[i].off > size {
+			reqs[i] = span{off: size, length: 0}
+		} else if reqs[i].end() > size {
+			reqs[i].length = size - reqs[i].off
+		}
+		if reqs[i].length == 0 {
+			continue
+		}
+		if lo < 0 || reqs[i].off < lo {
+			lo = reqs[i].off
+		}
+		if reqs[i].end() > hi {
+			hi = reqs[i].end()
+		}
+	}
+	if lo < 0 { // nothing to read
+		p.lo, p.hi = 0, 0
+		p.cycles = 0
+		return p
+	}
+	p.lo, p.hi = lo, hi
+
+	cfg := f.comm.Config()
+	aggCount := f.aggregatorCount()
+	// StripeSize is virtual; domains are carved in real bytes.
+	stripe := int64(float64(f.pf.StripeSize()) / f.pf.Scale())
+	if stripe < 1 {
+		stripe = 1
+	}
+	p.stripeReal = stripe
+	p.s0 = lo / stripe
+
+	for k := 0; k < aggCount; k++ {
+		node := k * cfg.Nodes / aggCount
+		p.aggRanks = append(p.aggRanks, node*cfg.RanksPerNode)
+	}
+
+	// Buffering cycles: cb_buffer_size is in virtual bytes. Every cycle an
+	// aggregator reads at most one buffer's worth of one of its stripes.
+	bufReal := int64(float64(f.hint.bufferSize()) / f.pf.Scale())
+	if bufReal < 1 {
+		bufReal = 1
+	}
+	p.cycleLen = min(bufReal, stripe)
+	p.cyclesPerStripe = int((stripe + p.cycleLen - 1) / p.cycleLen)
+	s1 := (hi - 1) / stripe
+	totalStripes := s1 - p.s0 + 1
+	// The most stripes any aggregator owns under the cyclic assignment.
+	maxStripes := int((totalStripes + int64(aggCount) - 1) / int64(aggCount))
+	p.cycles = maxStripes * p.cyclesPerStripe
+
+	// Model each cycle's aggregator read batch.
+	for c := 0; c < p.cycles; c++ {
+		var batch []pfs.Request
+		var who []int
+		for k := 0; k < aggCount; k++ {
+			s := p.cycleSlice(k, c)
+			if s.length == 0 {
+				continue
+			}
+			batch = append(batch, pfs.Request{
+				Node:   cfg.NodeOf(p.aggRanks[k]),
+				Offset: s.off,
+				Length: s.length,
+			})
+			who = append(who, k)
+		}
+		times := make([]float64, aggCount)
+		if len(batch) > 0 {
+			durs, err := f.pf.BatchTime(batch)
+			if err != nil {
+				p.err = err
+				return p
+			}
+			for i, k := range who {
+				times[k] = durs[i]
+			}
+		}
+		p.aggTime = append(p.aggTime, times)
+	}
+	return p
+}
+
+// cycleSlice returns the file range aggregator k covers in cycle c: a
+// buffer-sized piece of its (c / cyclesPerStripe)-th owned stripe, clamped
+// to the covered range [lo, hi).
+func (p *readPlan) cycleSlice(k, c int) span {
+	aggCount := len(p.aggRanks)
+	j := int64(c / p.cyclesPerStripe) // which of my stripes
+	r := int64(c % p.cyclesPerStripe) // which buffer within it
+	first := p.s0 + ((int64(k)-p.s0)%int64(aggCount)+int64(aggCount))%int64(aggCount)
+	s := first + j*int64(aggCount)
+	lo := s*p.stripeReal + r*p.cycleLen
+	hi := min((s+1)*p.stripeReal, lo+p.cycleLen)
+	lo = max(lo, p.lo)
+	hi = min(hi, p.hi)
+	if lo >= hi {
+		return span{off: p.hi, length: 0}
+	}
+	return span{off: lo, length: hi - lo}
+}
+
+// aggIndex returns which aggregator this rank is, or -1.
+func (p *readPlan) aggIndex(rank int) int {
+	for k, r := range p.aggRanks {
+		if r == rank {
+			return k
+		}
+	}
+	return -1
+}
+
+// ReadAtAll is the collective explicit-offset read MPI_File_read_at_all
+// (Level 1): two-phase I/O in which only the selected aggregators touch the
+// filesystem and then redistribute data with a personalized all-to-all
+// exchange. Every rank of the communicator must call it (inactive ranks
+// pass an empty buffer), as MPI requires.
+func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
+	if err := f.checkLimit(len(buf)); err != nil {
+		return 0, err
+	}
+	myReq := span{off: off, length: int64(len(buf))}
+	planAny, err := f.comm.WorldSync("mpiio.coll:"+f.pf.Name(), myReq, func(inputs []any) []any {
+		reqs := make([]span, len(inputs))
+		for i, in := range inputs {
+			reqs[i] = in.(span)
+		}
+		plan := f.buildPlan(reqs)
+		outs := make([]any, len(inputs))
+		for i := range outs {
+			outs[i] = plan
+		}
+		return outs
+	})
+	if err != nil {
+		return 0, err
+	}
+	plan := planAny.(*readPlan)
+	if plan.err != nil {
+		return 0, plan.err
+	}
+	rank := f.comm.Rank()
+	n := int(plan.reqs[rank].length)
+
+	myAgg := plan.aggIndex(rank)
+	nRanks := f.comm.Size()
+	for c := 0; c < plan.cycles; c++ {
+		// Phase 1: aggregators read their cycle slice.
+		var slice span
+		var data []byte
+		if myAgg >= 0 {
+			slice = plan.cycleSlice(myAgg, c)
+			if slice.length > 0 {
+				data = make([]byte, slice.length)
+				if _, rerr := f.pf.ReadAt(data, slice.off); rerr != nil && rerr != io.EOF {
+					return 0, rerr
+				}
+				f.comm.Compute(plan.aggTime[c][myAgg])
+			}
+		}
+		// Phase 2: redistribute. Send blocks: piece of my slice overlapping
+		// each rank's request. Recv sizes: overlap of my request with each
+		// aggregator's cycle slice.
+		send := make([][]byte, nRanks)
+		for r := 0; r < nRanks && myAgg >= 0 && slice.length > 0; r++ {
+			ov := slice.overlap(plan.reqs[r])
+			if ov.length > 0 {
+				start := ov.off - slice.off
+				send[r] = data[start : start+ov.length]
+			}
+		}
+		recvSizes := make([]int, nRanks)
+		for k, ar := range plan.aggRanks {
+			ov := plan.cycleSlice(k, c).overlap(plan.reqs[rank])
+			recvSizes[ar] += int(ov.length)
+		}
+		parts, aerr := f.comm.Alltoallv(send, recvSizes)
+		if aerr != nil {
+			return 0, aerr
+		}
+		for k, ar := range plan.aggRanks {
+			ov := plan.cycleSlice(k, c).overlap(plan.reqs[rank])
+			if ov.length > 0 {
+				copy(buf[ov.off-off:], parts[ar][:ov.length])
+			}
+		}
+	}
+	if n < len(buf) {
+		return n, io.EOF
+	}
+	return n, nil
+}

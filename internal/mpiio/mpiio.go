@@ -1,0 +1,146 @@
+// Package mpiio reproduces the MPI-IO layer (ROMIO) the paper builds on:
+// shared files opened by a communicator, independent and collective reads,
+// explicit-offset access, file views built from derived datatypes, and the
+// ROMIO-specific behaviours the paper measures — two-phase collective I/O
+// with Lustre's aggregator-selection rule, `cb_nodes` / `cb_buffer_size`
+// hints, multi-cycle collective buffering, and the 2 GB-per-call limit
+// (paper §3, §5.1).
+//
+// The three access levels of the paper's Table 1 map to:
+//
+//	Level 0  contiguous + independent  ->  ReadAt / ReadAtSync
+//	Level 1  contiguous + collective   ->  ReadAtAll
+//	Level 3  non-contiguous+collective ->  SetView + ReadViewAll
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// ROMIOLimit is the maximum bytes one call may move per process: ROMIO's
+// int-count limitation (paper §3). It applies to virtual (full-scale)
+// bytes so scaled experiments hit it exactly where the paper would.
+const ROMIOLimit = int64(1) << 31
+
+// ErrTooLarge mirrors ROMIO failing reads over 2 GB in a single operation.
+var ErrTooLarge = errors.New("mpiio: request exceeds ROMIO 2 GB single-operation limit")
+
+// Hints carries the MPI_Info knobs the paper tunes (§5.1.1).
+type Hints struct {
+	// CBNodes bounds the number of aggregator nodes for collective I/O
+	// (hint cb_nodes). Zero lets the ROMIO driver decide.
+	CBNodes int
+	// CBBufferSize is the per-aggregator collective buffer in virtual
+	// bytes (hint cb_buffer_size); larger collective reads proceed in
+	// multiple cycles. Zero means the ROMIO default (16 MB).
+	CBBufferSize int64
+}
+
+func (h Hints) bufferSize() int64 {
+	if h.CBBufferSize > 0 {
+		return h.CBBufferSize
+	}
+	return 16 << 20
+}
+
+// File is an MPI file handle: a striped pfs file opened across a
+// communicator.
+type File struct {
+	comm *mpi.Comm
+	pf   *pfs.File
+	hint Hints
+	view *view
+}
+
+// Open associates a pfs file with a communicator. Collective operations
+// must be called by every rank of the communicator.
+func Open(comm *mpi.Comm, pf *pfs.File, hint Hints) *File {
+	return &File{comm: comm, pf: pf, hint: hint}
+}
+
+// PFSFile exposes the underlying simulated file (for size/striping queries).
+func (f *File) PFSFile() *pfs.File { return f.pf }
+
+// Size returns the file's real stored size.
+func (f *File) Size() int64 { return f.pf.Size() }
+
+// node returns the compute node of this rank for injection accounting.
+func (f *File) node() int { return f.comm.Config().NodeOf(f.comm.Rank()) }
+
+// checkLimit enforces the ROMIO 2 GB single-call limit on virtual bytes.
+func (f *File) checkLimit(realBytes int) error {
+	if int64(float64(realBytes)*f.pf.Scale()) > ROMIOLimit {
+		return fmt.Errorf("%w: %.1f GB requested", ErrTooLarge,
+			float64(realBytes)*f.pf.Scale()/1e9)
+	}
+	return nil
+}
+
+// ReadAt is the independent explicit-offset read MPI_File_read_at
+// (Level 0), modeled as an isolated request. Returns bytes read; a read
+// extending past EOF returns the available prefix with io.EOF.
+func (f *File) ReadAt(buf []byte, off int64) (int, error) {
+	if err := f.checkLimit(len(buf)); err != nil {
+		return 0, err
+	}
+	n, err := f.pf.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	dur, merr := f.pf.ReadTime(pfs.Request{Node: f.node(), Offset: off, Length: int64(n)})
+	if merr != nil {
+		return n, merr
+	}
+	f.comm.Compute(dur)
+	return n, err
+}
+
+// ReadAtSync has the semantics and cost model of independent reads (no
+// aggregators, no redistribution — every rank's own request goes straight
+// to the filesystem), but coordinates the *timing model* across ranks so
+// concurrent iterations share OST bandwidth deterministically. All ranks
+// must call it each iteration; inactive ranks pass an empty buf. This is
+// how the Level-0 experiments of Figures 8-9 are measured: every rank
+// spinning in the same read loop.
+func (f *File) ReadAtSync(buf []byte, off int64) (int, error) {
+	if err := f.checkLimit(len(buf)); err != nil {
+		return 0, err
+	}
+	n, err := f.pf.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	if len(buf) == 0 {
+		n, err = 0, nil
+	}
+	req := pfs.Request{Node: f.node(), Offset: off, Length: int64(n)}
+	durAny, serr := f.comm.WorldSync("mpiio.indep:"+f.pf.Name(), req, func(inputs []any) []any {
+		reqs := make([]pfs.Request, len(inputs))
+		for i, in := range inputs {
+			reqs[i] = in.(pfs.Request)
+		}
+		durs, derr := f.pf.BatchTime(reqs)
+		outs := make([]any, len(inputs))
+		for i := range outs {
+			if derr != nil {
+				outs[i] = derr
+			} else {
+				outs[i] = durs[i]
+			}
+		}
+		return outs
+	})
+	if serr != nil {
+		return n, serr
+	}
+	if derr, ok := durAny.(error); ok {
+		return n, derr
+	}
+	f.comm.Compute(durAny.(float64))
+	return n, err
+}

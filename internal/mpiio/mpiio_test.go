@@ -1,0 +1,492 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// makeFile creates a Lustre file with deterministic content.
+func makeFile(t *testing.T, size int64, stripeCount int, stripeSize int64) (*pfs.FS, *pfs.File) {
+	t.Helper()
+	fs, err := pfs.New(pfs.CometLustre())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("test.bin", stripeCount, stripeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	f.Write(data)
+	return fs, f
+}
+
+func wantBytes(off, n int64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((off + int64(i)) % 251)
+	}
+	return out
+}
+
+func TestReadAtIndependent(t *testing.T) {
+	_, pf := makeFile(t, 1<<20, 4, 64<<10)
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 1000)
+		n, err := f.ReadAt(buf, 500)
+		if err != nil || n != 1000 {
+			return fmt.Errorf("ReadAt: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(buf, wantBytes(500, 1000)) {
+			return fmt.Errorf("wrong data")
+		}
+		if c.Now() <= 0 {
+			return fmt.Errorf("no I/O time charged")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	_, pf := makeFile(t, 100, 1, 64<<10)
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 50)
+		n, err := f.ReadAt(buf, 80)
+		if n != 20 || err != io.EOF {
+			return fmt.Errorf("n=%d err=%v, want 20, EOF", n, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROMIOLimit(t *testing.T) {
+	_, pf := makeFile(t, 1<<10, 1, 64<<10)
+	pf.SetScale(1 << 22) // each real byte = 4 MB virtual: 1 KB real = 4 GB
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 1<<10)
+		_, err := f.ReadAt(buf, 0)
+		if !errors.Is(err, ErrTooLarge) {
+			return fmt.Errorf("err = %v, want ErrTooLarge", err)
+		}
+		_, err = f.ReadAtAll(buf, 0)
+		if !errors.Is(err, ErrTooLarge) {
+			return fmt.Errorf("collective err = %v, want ErrTooLarge", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAtSyncPartitionedRead(t *testing.T) {
+	const n = 8
+	const total = 1 << 20
+	_, pf := makeFile(t, total, 8, 16<<10)
+	var mu sync.Mutex
+	assembled := make([]byte, total)
+	err := mpi.Run(cluster.Local(n), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		chunk := total / n
+		off := int64(c.Rank() * chunk)
+		buf := make([]byte, chunk)
+		got, err := f.ReadAtSync(buf, off)
+		if err != nil || got != chunk {
+			return fmt.Errorf("rank %d: n=%d err=%v", c.Rank(), got, err)
+		}
+		mu.Lock()
+		copy(assembled[off:], buf)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(assembled, wantBytes(0, total)) {
+		t.Error("partitioned read did not reassemble the file")
+	}
+}
+
+func TestReadAtAllCollective(t *testing.T) {
+	for _, ranks := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			const total = 256 << 10
+			_, pf := makeFile(t, total, 4, 16<<10)
+			var mu sync.Mutex
+			assembled := make([]byte, total)
+			err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+				f := Open(c, pf, Hints{})
+				chunk := total / ranks
+				off := int64(c.Rank() * chunk)
+				buf := make([]byte, chunk)
+				n, err := f.ReadAtAll(buf, off)
+				if err != nil || n != chunk {
+					return fmt.Errorf("rank %d: n=%d err=%v", c.Rank(), n, err)
+				}
+				mu.Lock()
+				copy(assembled[off:], buf)
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(assembled, wantBytes(0, total)) {
+				t.Error("collective read did not reassemble the file")
+			}
+		})
+	}
+}
+
+func TestReadAtAllUnevenAndIdleRanks(t *testing.T) {
+	// Last-iteration pattern from Algorithm 1: some ranks read nothing.
+	const total = 100 << 10
+	_, pf := makeFile(t, total, 4, 16<<10)
+	err := mpi.Run(cluster.Local(4), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		var buf []byte
+		var off int64
+		switch c.Rank() {
+		case 0:
+			buf = make([]byte, 60<<10)
+			off = 0
+		case 1:
+			buf = make([]byte, 40<<10)
+			off = 60 << 10
+		default: // ranks 2,3 idle but must participate
+			buf = nil
+		}
+		n, err := f.ReadAtAll(buf, off)
+		if err != nil {
+			return fmt.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		if n != len(buf) {
+			return fmt.Errorf("rank %d: n=%d want %d", c.Rank(), n, len(buf))
+		}
+		if len(buf) > 0 && !bytes.Equal(buf, wantBytes(off, int64(len(buf)))) {
+			return fmt.Errorf("rank %d: wrong data", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAtAllEOF(t *testing.T) {
+	_, pf := makeFile(t, 1000, 1, 64<<10)
+	err := mpi.Run(cluster.Local(2), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 800)
+		off := int64(c.Rank()) * 800
+		n, err := f.ReadAtAll(buf, off)
+		switch c.Rank() {
+		case 0:
+			if n != 800 || err != nil {
+				return fmt.Errorf("rank 0: n=%d err=%v", n, err)
+			}
+		case 1:
+			if n != 200 || err != io.EOF {
+				return fmt.Errorf("rank 1: n=%d err=%v, want 200, EOF", n, err)
+			}
+			if !bytes.Equal(buf[:200], wantBytes(800, 200)) {
+				return fmt.Errorf("rank 1: wrong tail data")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLustreAggregatorRule(t *testing.T) {
+	cases := []struct {
+		nodes, stripes, want int
+	}{
+		{16, 64, 16}, // stripe count multiple of nodes: all nodes read
+		{32, 64, 32},
+		{64, 64, 64},
+		{24, 64, 16}, // paper's example: 24 nodes, 64 OSTs -> 16 readers
+		{48, 64, 32}, // paper's example: 48 nodes, 64 OSTs -> 32 readers
+		{72, 64, 64}, // largest divisor of 64 <= 72
+		{7, 64, 4},
+		{3, 96, 3},  // 96 % 3 == 0
+		{5, 96, 4},  // largest divisor of 96 <= 5
+		{10, 96, 8}, // largest divisor of 96 <= 10
+		{1, 64, 1},
+	}
+	for _, c := range cases {
+		if got := lustreAggregators(c.nodes, c.stripes); got != c.want {
+			t.Errorf("lustreAggregators(%d nodes, %d OSTs) = %d, want %d",
+				c.nodes, c.stripes, got, c.want)
+		}
+	}
+}
+
+func TestCollectiveSlowerThanIndependentContiguous(t *testing.T) {
+	// The paper's headline finding for contiguous reads on Lustre: Level 0
+	// beats Level 1 because two-phase adds redistribution (§5.1.1).
+	const ranks = 8
+	const total = 8 << 20
+	timeOf := func(collective bool) float64 {
+		_, pf := makeFile(t, total, 4, 64<<10)
+		var tmax float64
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Comet(2), func(c *mpi.Comm) error {
+			if c.Rank() >= ranks { // use only 8 of the 32 ranks for reading
+				if collective {
+					f := Open(c, pf, Hints{})
+					_, err := f.ReadAtAll(nil, 0)
+					return err
+				}
+				f := Open(c, pf, Hints{})
+				_, err := f.ReadAtSync(nil, 0)
+				return err
+			}
+			f := Open(c, pf, Hints{})
+			chunk := total / ranks
+			buf := make([]byte, chunk)
+			off := int64(c.Rank() * chunk)
+			var err error
+			if collective {
+				_, err = f.ReadAtAll(buf, off)
+			} else {
+				_, err = f.ReadAtSync(buf, off)
+			}
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			if c.Now() > tmax {
+				tmax = c.Now()
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tmax
+	}
+	indep := timeOf(false)
+	coll := timeOf(true)
+	if coll <= indep {
+		t.Errorf("collective (%v) should be slower than independent (%v) for contiguous reads", coll, indep)
+	}
+}
+
+func TestCBBufferCycles(t *testing.T) {
+	// A tiny cb_buffer_size forces multiple cycles; result must still be
+	// correct and slower than one big cycle.
+	const total = 512 << 10
+	run := func(bufSize int64) float64 {
+		_, pf := makeFile(t, total, 2, 16<<10)
+		var tmax float64
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Local(4), func(c *mpi.Comm) error {
+			f := Open(c, pf, Hints{CBBufferSize: bufSize})
+			chunk := total / 4
+			buf := make([]byte, chunk)
+			off := int64(c.Rank() * chunk)
+			n, err := f.ReadAtAll(buf, off)
+			if err != nil || n != chunk {
+				return fmt.Errorf("n=%d err=%v", n, err)
+			}
+			if !bytes.Equal(buf, wantBytes(off, int64(chunk))) {
+				return fmt.Errorf("rank %d: wrong data with cb=%d", c.Rank(), bufSize)
+			}
+			mu.Lock()
+			if c.Now() > tmax {
+				tmax = c.Now()
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tmax
+	}
+	big := run(0)         // default 16 MB: single cycle
+	small := run(8 << 10) // 8 KB cycles
+	if small <= big {
+		t.Errorf("many small cycles (%v) should be slower than one cycle (%v)", small, big)
+	}
+}
+
+func TestSetViewValidation(t *testing.T) {
+	_, pf := makeFile(t, 1<<10, 1, 64<<10)
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		if err := f.SetView(-1, mpi.Byte, mpi.Byte); err == nil {
+			return fmt.Errorf("negative disp accepted")
+		}
+		odd, _ := mpi.TypeContiguous(3, mpi.Byte)
+		if err := f.SetView(0, mpi.Float64, odd); err == nil {
+			return fmt.Errorf("filetype not multiple of etype accepted")
+		}
+		return f.SetView(0, mpi.Byte, odd)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewRangesRoundRobin(t *testing.T) {
+	// Figure 4 pattern: 4 ranks read 32-byte records round-robin. Rank r's
+	// filetype: vector of 1 record at stride 4 records, displaced r records.
+	rec, err := mpi.TypeContiguous(32, mpi.Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := mpi.TypeVector(2, 1, 4, rec) // two records per tile, stride 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &view{disp: 64, etype: mpi.Byte, filetype: ft}
+	got := v.ranges(0, 64) // first two visible records
+	want := []span{{off: 64, length: 32}, {off: 64 + 4*32, length: 32}}
+	if len(got) != len(want) {
+		t.Fatalf("ranges = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Offsets inside the view shift correctly.
+	got = v.ranges(16, 32)
+	want = []span{{off: 80, length: 16}, {off: 64 + 4*32, length: 16}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("shifted range %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadViewAllRoundRobinRecords(t *testing.T) {
+	// 4 ranks, 32-byte records distributed round-robin: rank r gets records
+	// r, r+4, r+8, ... Non-contiguous collective read (Level 3).
+	const recSize = 32
+	const recCount = 64
+	const ranks = 4
+	_, pf := makeFile(t, recSize*recCount, 4, 16<<10)
+	err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		rec, err := mpi.TypeContiguous(recSize, mpi.Byte)
+		if err != nil {
+			return err
+		}
+		perRank := recCount / ranks
+		ft, err := mpi.TypeVector(perRank, 1, ranks, rec)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank()*recSize), mpi.Byte, ft); err != nil {
+			return err
+		}
+		buf := make([]byte, perRank*recSize)
+		n, err := f.ReadViewAll(buf, 0)
+		if err != nil || n != len(buf) {
+			return fmt.Errorf("rank %d: n=%d err=%v", c.Rank(), n, err)
+		}
+		for i := 0; i < perRank; i++ {
+			fileOff := int64((i*ranks + c.Rank()) * recSize)
+			if !bytes.Equal(buf[i*recSize:(i+1)*recSize], wantBytes(fileOff, recSize)) {
+				return fmt.Errorf("rank %d record %d corrupted", c.Rank(), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonContiguousSlowerThanContiguous(t *testing.T) {
+	// Figure 15's headline: NC reads are slower than contiguous for the
+	// same total bytes.
+	const recSize = 32
+	const recCount = 4096
+	const ranks = 4
+	contig := func() float64 {
+		_, pf := makeFile(t, recSize*recCount, 4, 16<<10)
+		var tmax float64
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			f := Open(c, pf, Hints{})
+			chunk := recSize * recCount / ranks
+			buf := make([]byte, chunk)
+			if _, err := f.ReadAtAll(buf, int64(c.Rank()*chunk)); err != nil {
+				return err
+			}
+			mu.Lock()
+			if c.Now() > tmax {
+				tmax = c.Now()
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tmax
+	}
+	nonContig := func() float64 {
+		_, pf := makeFile(t, recSize*recCount, 4, 16<<10)
+		var tmax float64
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			f := Open(c, pf, Hints{})
+			rec, _ := mpi.TypeContiguous(recSize, mpi.Byte)
+			perRank := recCount / ranks
+			ft, err := mpi.TypeVector(perRank, 1, ranks, rec)
+			if err != nil {
+				return err
+			}
+			if err := f.SetView(int64(c.Rank()*recSize), mpi.Byte, ft); err != nil {
+				return err
+			}
+			buf := make([]byte, perRank*recSize)
+			if _, err := f.ReadViewAll(buf, 0); err != nil {
+				return err
+			}
+			mu.Lock()
+			if c.Now() > tmax {
+				tmax = c.Now()
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tmax
+	}
+	tc := contig()
+	tn := nonContig()
+	if tn <= tc {
+		t.Errorf("non-contiguous (%v) should be slower than contiguous (%v)", tn, tc)
+	}
+}

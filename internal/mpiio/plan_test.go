@@ -1,0 +1,168 @@
+package mpiio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// planFixture builds a plan directly (no communication) for property
+// checks on the stripe-cyclic domain decomposition.
+func planFixture(t *testing.T, fileBytes, stripe int64, stripeCount, nodes, ranksPerNode int, reqs []span) *readPlan {
+	t.Helper()
+	fs, err := pfs.New(pfs.CometLustre())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := fs.Create("plan.bin", stripeCount, stripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Write(make([]byte, fileBytes))
+	var plan *readPlan
+	cc := cluster.Comet(nodes)
+	cc.RanksPerNode = ranksPerNode
+	err = mpi.Run(cc, func(c *mpi.Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		f := Open(c, pf, Hints{})
+		plan = f.buildPlan(append([]span(nil), reqs...))
+		return plan.err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestPlanCyclesCoverRangeExactly: the union of every aggregator's cycle
+// slices must tile [lo, hi) exactly once — no gaps, no overlaps.
+func TestPlanCyclesCoverRangeExactly(t *testing.T) {
+	const fileBytes = 1 << 20
+	reqs := []span{{off: 1000, length: 300000}, {off: 301000, length: 500000}}
+	plan := planFixture(t, fileBytes, 64<<10, 8, 4, 2, reqs)
+
+	covered := make([]int, fileBytes)
+	for c := 0; c < plan.cycles; c++ {
+		for k := range plan.aggRanks {
+			s := plan.cycleSlice(k, c)
+			for b := s.off; b < s.end(); b++ {
+				covered[b]++
+			}
+		}
+	}
+	for b := int64(0); b < fileBytes; b++ {
+		want := 0
+		if b >= plan.lo && b < plan.hi {
+			want = 1
+		}
+		if covered[b] != want {
+			t.Fatalf("byte %d covered %d times, want %d", b, covered[b], want)
+		}
+	}
+}
+
+// TestPlanStripeCyclicDisjointOSTs: within any single cycle, no two
+// aggregators may touch the same OST — the property that removes the
+// stripe-resonance pathology of contiguous domains.
+func TestPlanStripeCyclicDisjointOSTs(t *testing.T) {
+	const fileBytes = 4 << 20
+	const stripe = 128 << 10
+	const stripeCount = 16
+	reqs := []span{{off: 0, length: fileBytes}}
+	plan := planFixture(t, fileBytes, stripe, stripeCount, 8, 1, reqs)
+	if len(plan.aggRanks) < 2 {
+		t.Skipf("only %d aggregators selected", len(plan.aggRanks))
+	}
+	for c := 0; c < plan.cycles; c++ {
+		seen := map[int64]int{}
+		for k := range plan.aggRanks {
+			s := plan.cycleSlice(k, c)
+			if s.length == 0 {
+				continue
+			}
+			ost := (s.off / stripe) % stripeCount
+			if prev, dup := seen[ost]; dup {
+				t.Fatalf("cycle %d: aggregators %d and %d both on OST %d", c, prev, k, ost)
+			}
+			seen[ost] = k
+		}
+	}
+}
+
+// TestPlanSliceWithinOneStripe: a cycle slice never crosses a stripe
+// boundary (one filesystem chunk per aggregator read).
+func TestPlanSliceWithinOneStripe(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(31))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stripe := int64(1024 * (1 + r.Intn(64)))
+		fileBytes := stripe*int64(2+r.Intn(30)) + int64(r.Intn(1024))
+		lo := int64(r.Intn(int(fileBytes / 2)))
+		length := int64(1 + r.Intn(int(fileBytes-lo)))
+		plan := planFixture(t, fileBytes, stripe, 4+r.Intn(12), 1+r.Intn(6), 1+r.Intn(3),
+			[]span{{off: lo, length: length}})
+		for c := 0; c < plan.cycles; c++ {
+			for k := range plan.aggRanks {
+				s := plan.cycleSlice(k, c)
+				if s.length == 0 {
+					continue
+				}
+				if s.off/stripe != (s.end()-1)/stripe {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadAtAllMatchesIndependent: collective and independent reads must
+// return identical bytes for identical requests.
+func TestReadAtAllMatchesIndependent(t *testing.T) {
+	fs, err := pfs.New(pfs.CometLustre())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := fs.Create("match.bin", 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 100_000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	pf.Write(data)
+
+	err = mpi.Run(cluster.Local(5), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		per := int64(len(data)) / int64(c.Size())
+		off := int64(c.Rank()) * per
+		collective := make([]byte, per)
+		if _, err := f.ReadAtAll(collective, off); err != nil {
+			return err
+		}
+		independent := make([]byte, per)
+		if _, err := f.ReadAt(independent, off); err != nil {
+			return err
+		}
+		for i := range collective {
+			if collective[i] != independent[i] {
+				t.Errorf("rank %d: byte %d differs", c.Rank(), i)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

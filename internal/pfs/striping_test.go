@@ -1,0 +1,175 @@
+package pfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scaledFile builds a file of realBytes stored bytes at the given scale and
+// virtual striping.
+func scaledFile(t *testing.T, params Params, realBytes int64, stripeCount int, virtStripe int64, scale float64) *File {
+	t.Helper()
+	fs, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("s.bin", stripeCount, virtStripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, realBytes))
+	f.SetScale(scale)
+	return f
+}
+
+// TestChunksSumToVirtualLength: the per-OST chunk decomposition must
+// conserve the request's virtual byte count.
+func TestChunksSumToVirtualLength(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		scale := float64(uint32(1) << r.Intn(12))
+		virtStripe := int64(1024 * (1 + r.Intn(100)))
+		f := scaledFile(t, CometLustre(), 1<<20, 1+r.Intn(32), virtStripe, scale)
+		off := int64(r.Intn(1 << 19))
+		length := int64(1 + r.Intn(1<<19))
+		var sum int64
+		f.chunks(Request{Offset: off, Length: length}, func(ost int, n int64) {
+			if n <= 0 {
+				t.Fatalf("non-positive chunk %d", n)
+			}
+			sum += n
+		})
+		return sum == f.virt(length)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaledStripingMatchesFullScale: a scaled file must produce the same
+// (OST, virtualBytes) decomposition as its full-size original.
+func TestScaledStripingMatchesFullScale(t *testing.T) {
+	const virtStripe = 64 << 10
+	const stripeCount = 8
+	const scale = 256
+
+	full := scaledFile(t, CometLustre(), 1<<22, stripeCount, virtStripe, 1)
+	scaled := scaledFile(t, CometLustre(), (1<<22)/scale, stripeCount, virtStripe, scale)
+
+	collect := func(f *File, off, length int64) map[int]int64 {
+		m := map[int]int64{}
+		f.chunks(Request{Offset: off, Length: length}, func(ost int, n int64) {
+			m[ost] += n
+		})
+		return m
+	}
+	// The same virtual range, expressed in each file's real coordinates.
+	virtOff, virtLen := int64(200<<10), int64(1<<20)
+	fullM := collect(full, virtOff, virtLen)
+	scaledM := collect(scaled, virtOff/scale, virtLen/scale)
+	for ost, n := range fullM {
+		if scaledM[ost] != n {
+			t.Errorf("OST %d: full-scale %d bytes vs scaled %d", ost, n, scaledM[ost])
+		}
+	}
+	if len(fullM) != len(scaledM) {
+		t.Errorf("OST sets differ: %d vs %d", len(fullM), len(scaledM))
+	}
+}
+
+// TestStripeAlignedRequestsSpreadOverOSTs: whole-stripe requests at
+// successive stripe offsets must land on successive OSTs (round robin).
+func TestStripeAlignedRequestsSpreadOverOSTs(t *testing.T) {
+	const virtStripe = 32 << 10
+	const stripeCount = 6
+	f := scaledFile(t, CometLustre(), 1<<20, stripeCount, virtStripe, 1)
+	for s := int64(0); s < 12; s++ {
+		var osts []int
+		f.chunks(Request{Offset: s * virtStripe, Length: virtStripe}, func(ost int, n int64) {
+			osts = append(osts, ost)
+		})
+		if len(osts) != 1 {
+			t.Fatalf("stripe %d split into %d chunks", s, len(osts))
+		}
+		if want := int(s % stripeCount); osts[0] != want {
+			t.Errorf("stripe %d on OST %d, want %d", s, osts[0], want)
+		}
+	}
+}
+
+// TestContentionCapBounds: with many concurrent readers on one OST the
+// contention factor saturates at the configured cap instead of growing
+// linearly.
+func TestContentionCapBounds(t *testing.T) {
+	params := CometLustre()
+	params.ContentionAlpha = 0.5
+	params.ContentionCap = 3
+	fs, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("cap.bin", 1, 1<<20) // single OST
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 1<<20))
+
+	timeFor := func(readers int) float64 {
+		reqs := make([]Request, readers)
+		per := int64(1<<20) / int64(readers)
+		for i := range reqs {
+			reqs[i] = Request{Node: i, Offset: int64(i) * per, Length: per}
+		}
+		durs, err := f.BatchTime(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxDur float64
+		for _, d := range durs {
+			if d > maxDur {
+				maxDur = d
+			}
+		}
+		return maxDur
+	}
+	// Past the cap, adding readers must not increase the OST service time
+	// (same total bytes, same capped contention).
+	at8 := timeFor(8)
+	at64 := timeFor(64)
+	if at64 > at8*1.5 {
+		t.Errorf("contention should be capped: 8 readers %.4f s vs 64 readers %.4f s", at8, at64)
+	}
+}
+
+// TestBatchTimeFaultInjection: an injected fault must abort the batch.
+func TestBatchTimeFaultInjection(t *testing.T) {
+	fs, err := New(RogerGPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("fault.bin", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 4096))
+	boom := make(chan struct{})
+	fs.InjectFault(func(r Request) error {
+		select {
+		case <-boom:
+		default:
+			close(boom)
+		}
+		return errInjected
+	})
+	if _, err := f.BatchTime([]Request{{Offset: 0, Length: 100}}); err == nil {
+		t.Fatal("expected injected fault")
+	}
+}
+
+var errInjected = &injectedErr{}
+
+type injectedErr struct{}
+
+func (*injectedErr) Error() string { return "injected fault" }

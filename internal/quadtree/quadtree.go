@@ -1,0 +1,153 @@
+// Package quadtree implements a region quadtree over envelopes, the second
+// spatial index GEOS offers and the paper lists among its spatial data
+// structures (§2). Items are stored in the smallest quadrant that fully
+// contains their envelope, so straddling items live in interior nodes — the
+// classic MX-CIF layout.
+package quadtree
+
+import "repro/internal/geom"
+
+// maxDepth bounds subdivision; 16 levels resolve ~1/65k of the root extent.
+const maxDepth = 16
+
+// itemsPerNode is the subdivision threshold for leaf nodes.
+const itemsPerNode = 8
+
+// Tree is a region quadtree mapping envelopes to values of type T.
+type Tree[T any] struct {
+	root *qnode[T]
+	size int
+}
+
+type qitem[T any] struct {
+	env   geom.Envelope
+	value T
+}
+
+type qnode[T any] struct {
+	bounds   geom.Envelope
+	depth    int
+	items    []qitem[T]
+	children *[4]*qnode[T] // nil until subdivided
+}
+
+// New creates a quadtree covering the given world bounds. Items outside the
+// bounds are accepted but held at the root.
+func New[T any](bounds geom.Envelope) *Tree[T] {
+	return &Tree[T]{root: &qnode[T]{bounds: bounds}}
+}
+
+// Len returns the number of stored items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds a value with the given envelope.
+func (t *Tree[T]) Insert(env geom.Envelope, value T) {
+	t.size++
+	t.root.insert(qitem[T]{env: env, value: value})
+}
+
+func (n *qnode[T]) insert(it qitem[T]) {
+	if n.children != nil {
+		if q := n.quadrantFor(it.env); q >= 0 {
+			n.children[q].insert(it)
+			return
+		}
+		n.items = append(n.items, it)
+		return
+	}
+	n.items = append(n.items, it)
+	if len(n.items) > itemsPerNode && n.depth < maxDepth {
+		n.subdivide()
+	}
+}
+
+// subdivide splits the node and pushes down every item that fits entirely
+// within one child quadrant.
+func (n *qnode[T]) subdivide() {
+	c := n.bounds.Center()
+	b := n.bounds
+	quads := [4]geom.Envelope{
+		{MinX: b.MinX, MinY: b.MinY, MaxX: c.X, MaxY: c.Y}, // SW
+		{MinX: c.X, MinY: b.MinY, MaxX: b.MaxX, MaxY: c.Y}, // SE
+		{MinX: b.MinX, MinY: c.Y, MaxX: c.X, MaxY: b.MaxY}, // NW
+		{MinX: c.X, MinY: c.Y, MaxX: b.MaxX, MaxY: b.MaxY}, // NE
+	}
+	n.children = &[4]*qnode[T]{}
+	for i := range quads {
+		n.children[i] = &qnode[T]{bounds: quads[i], depth: n.depth + 1}
+	}
+	kept := n.items[:0]
+	for _, it := range n.items {
+		if q := n.quadrantFor(it.env); q >= 0 {
+			n.children[q].insert(it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	n.items = kept
+}
+
+// quadrantFor returns the index of the child that fully contains env, or -1
+// if env straddles a split line (or the node is not subdivided).
+func (n *qnode[T]) quadrantFor(env geom.Envelope) int {
+	if n.children == nil {
+		return -1
+	}
+	for i, c := range n.children {
+		if c.bounds.Contains(env) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Search visits every item whose envelope intersects query. The visitor
+// returns false to stop; Search reports whether the walk completed.
+func (t *Tree[T]) Search(query geom.Envelope, visit func(env geom.Envelope, value T) bool) bool {
+	return t.root.search(query, visit)
+}
+
+func (n *qnode[T]) search(query geom.Envelope, visit func(geom.Envelope, T) bool) bool {
+	for i := range n.items {
+		if n.items[i].env.Intersects(query) {
+			if !visit(n.items[i].env, n.items[i].value) {
+				return false
+			}
+		}
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			if c.bounds.Intersects(query) || c.bounds.IsEmpty() {
+				if !c.search(query, visit) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Query returns all values whose envelopes intersect query.
+func (t *Tree[T]) Query(query geom.Envelope) []T {
+	var out []T
+	t.Search(query, func(_ geom.Envelope, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Depth returns the maximum depth reached by subdivision.
+func (t *Tree[T]) Depth() int { return t.root.maxDepth() }
+
+func (n *qnode[T]) maxDepth() int {
+	d := n.depth
+	if n.children != nil {
+		for _, c := range n.children {
+			if cd := c.maxDepth(); cd > d {
+				d = cd
+			}
+		}
+	}
+	return d
+}

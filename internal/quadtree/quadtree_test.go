@@ -1,0 +1,162 @@
+package quadtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+var world = geom.Envelope{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+
+func randEnv(r *rand.Rand) geom.Envelope {
+	x := r.Float64() * 950
+	y := r.Float64() * 950
+	return geom.Envelope{MinX: x, MinY: y, MaxX: x + r.Float64()*50, MaxY: y + r.Float64()*50}
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New[int](world)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Query(world); len(got) != 0 {
+		t.Errorf("query returned %v", got)
+	}
+}
+
+func TestInsertQuery(t *testing.T) {
+	tr := New[string](world)
+	tr.Insert(geom.Envelope{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20}, "a")
+	tr.Insert(geom.Envelope{MinX: 800, MinY: 800, MaxX: 810, MaxY: 810}, "b")
+	tr.Insert(geom.Envelope{MinX: 15, MinY: 15, MaxX: 30, MaxY: 30}, "c")
+
+	got := tr.Query(geom.Envelope{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50})
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("query = %v", got)
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	tr := New[int](world)
+	type item struct {
+		env geom.Envelope
+		id  int
+	}
+	var items []item
+	for i := 0; i < 3000; i++ {
+		e := randEnv(r)
+		items = append(items, item{e, i})
+		tr.Insert(e, i)
+	}
+	for q := 0; q < 100; q++ {
+		query := randEnv(r).ExpandBy(25)
+		var want []int
+		for _, it := range items {
+			if it.env.Intersects(query) {
+				want = append(want, it.id)
+			}
+		}
+		got := tr.Query(query)
+		sort.Ints(want)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d items, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: mismatch at %d", q, i)
+			}
+		}
+	}
+}
+
+func TestStraddlingItemsStayFindable(t *testing.T) {
+	tr := New[int](world)
+	// An item exactly on the center split lines can never be pushed down.
+	center := geom.Envelope{MinX: 499, MinY: 499, MaxX: 501, MaxY: 501}
+	tr.Insert(center, 42)
+	for i := 0; i < 100; i++ {
+		tr.Insert(geom.Envelope{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, i)
+	}
+	got := tr.Query(geom.Envelope{MinX: 500, MinY: 500, MaxX: 500, MaxY: 500})
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("straddling item lost: %v", got)
+	}
+}
+
+func TestOutsideBoundsHeldAtRoot(t *testing.T) {
+	tr := New[int](world)
+	out := geom.Envelope{MinX: -100, MinY: -100, MaxX: -50, MaxY: -50}
+	tr.Insert(out, 7)
+	if got := tr.Query(out); len(got) != 1 || got[0] != 7 {
+		t.Errorf("out-of-bounds item not found: %v", got)
+	}
+}
+
+func TestSubdivisionDepth(t *testing.T) {
+	tr := New[int](world)
+	// Many tiny items in one corner force deep subdivision there.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		x := r.Float64() * 10
+		y := r.Float64() * 10
+		tr.Insert(geom.Envelope{MinX: x, MinY: y, MaxX: x + 0.01, MaxY: y + 0.01}, i)
+	}
+	if d := tr.Depth(); d < 3 {
+		t.Errorf("depth = %d, expected subdivision under clustering", d)
+	}
+	if tr.Len() != 2000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New[int](world)
+	for i := 0; i < 50; i++ {
+		tr.Insert(geom.Envelope{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, i)
+	}
+	n := 0
+	completed := tr.Search(world, func(_ geom.Envelope, _ int) bool {
+		n++
+		return n < 3
+	})
+	if completed || n != 3 {
+		t.Errorf("early stop failed: completed=%v n=%d", completed, n)
+	}
+}
+
+// Property: every inserted item is returned by a query of its own envelope.
+func TestSelfQueryProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(6))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New[int](world)
+		n := 1 + r.Intn(500)
+		envs := make([]geom.Envelope, n)
+		for i := 0; i < n; i++ {
+			envs[i] = randEnv(r)
+			tr.Insert(envs[i], i)
+		}
+		for i := 0; i < n; i++ {
+			found := false
+			for _, v := range tr.Query(envs[i]) {
+				if v == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("self-query property failed: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package sfc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+var world = geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+
+func envAt(x, y float64) geom.Envelope {
+	return geom.Envelope{MinX: x, MinY: y, MaxX: x, MaxY: y}
+}
+
+func TestZOrderQuadrants(t *testing.T) {
+	// Z-order visits quadrants in the order SW, SE, NW, NE (x interleaved
+	// in the even bits, y in the odd bits).
+	sw := ZOrder(envAt(-90, -45), world)
+	se := ZOrder(envAt(90, -45), world)
+	nw := ZOrder(envAt(-90, 45), world)
+	ne := ZOrder(envAt(90, 45), world)
+	if !(sw < se && se < nw && nw < ne) {
+		t.Errorf("quadrant order: sw=%d se=%d nw=%d ne=%d", sw, se, nw, ne)
+	}
+}
+
+func TestInterleaveBits(t *testing.T) {
+	// interleave(0b11) = 0b0101.
+	if got := interleave(3); got != 5 {
+		t.Errorf("interleave(3) = %b, want 101", got)
+	}
+	if got := interleave(0xFFFFFFFF); got != 0x5555555555555555 {
+		t.Errorf("interleave(all ones) = %x", got)
+	}
+}
+
+func TestHilbertDistinctCorners(t *testing.T) {
+	// The four corner cells must map to distinct indices and the origin
+	// corner to 0.
+	d00 := hilbertD(0, 0)
+	if d00 != 0 {
+		t.Errorf("hilbertD(0,0) = %d, want 0", d00)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range [][2]uint32{{0, 0}, {steps - 1, 0}, {0, steps - 1}, {steps - 1, steps - 1}} {
+		d := hilbertD(p[0], p[1])
+		if seen[d] {
+			t.Errorf("corner %v collides at index %d", p, d)
+		}
+		seen[d] = true
+	}
+}
+
+// TestHilbertAdjacencyProperty: consecutive Hilbert indexes must be
+// adjacent cells (Manhattan distance 1) — the defining property the curve
+// has and Z-order lacks.
+func TestHilbertAdjacencyProperty(t *testing.T) {
+	// Invert by brute force on a tiny curve: recompute d for all cells of
+	// a 16x16 grid (order 4 embedded in our fixed order via the top bits).
+	const n = 16
+	pos := make(map[uint64][2]uint32, n*n)
+	shift := uint32(steps / n)
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			d := hilbertD(x*shift, y*shift)
+			pos[d] = [2]uint32{x, y}
+		}
+	}
+	// Sort indexes.
+	var order []uint64
+	for d := range pos {
+		order = append(order, d)
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		a, b := pos[order[i-1]], pos[order[i]]
+		dx := math.Abs(float64(a[0]) - float64(b[0]))
+		dy := math.Abs(float64(a[1]) - float64(b[1]))
+		if dx+dy != 1 {
+			t.Fatalf("cells %v and %v are consecutive on the curve but not adjacent", a, b)
+		}
+	}
+}
+
+// TestZOrderLocalityProperty: nearby points should have nearer Z indexes
+// than far-apart points, on average — the locality that makes sorted data
+// spatially coherent.
+func TestZOrderLocalityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	nearBeats := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		x := r.Float64()*300 - 150
+		y := r.Float64()*150 - 75
+		base := ZOrder(envAt(x, y), world)
+		near := ZOrder(envAt(x+0.01, y+0.01), world)
+		far := ZOrder(envAt(-x, -y), world)
+		dNear := absDiff(base, near)
+		dFar := absDiff(base, far)
+		if dNear < dFar {
+			nearBeats++
+		}
+	}
+	if nearBeats < trials*9/10 {
+		t.Errorf("near point had closer Z index in only %d/%d trials", nearBeats, trials)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestSortStableAndOrdered: both sorts produce monotone key sequences and
+// preserve the multiset.
+func TestSortStableAndOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	mk := func() []geom.Geometry {
+		gs := make([]geom.Geometry, 500)
+		for i := range gs {
+			gs[i] = geom.Point{X: r.Float64()*360 - 180, Y: r.Float64()*180 - 90}
+		}
+		return gs
+	}
+	for name, sortFn := range map[string]func([]geom.Geometry, geom.Envelope){
+		"zorder":  SortByZOrder,
+		"hilbert": SortByHilbert,
+	} {
+		gs := mk()
+		want := len(gs)
+		sortFn(gs, world)
+		if len(gs) != want {
+			t.Fatalf("%s: lost elements", name)
+		}
+		keyFn := ZOrder
+		if name == "hilbert" {
+			keyFn = Hilbert
+		}
+		for i := 1; i < len(gs); i++ {
+			if keyFn(gs[i-1].Envelope(), world) > keyFn(gs[i].Envelope(), world) {
+				t.Fatalf("%s: out of order at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestQuantizeBounds: quantize clamps out-of-range coordinates.
+func TestQuantizeBounds(t *testing.T) {
+	if q := quantize(-999, -180, 360); q != 0 {
+		t.Errorf("below range quantizes to %d", q)
+	}
+	if q := quantize(999, -180, 360); q != steps-1 {
+		t.Errorf("above range quantizes to %d", q)
+	}
+	if q := quantize(5, 0, 0); q != 0 {
+		t.Errorf("degenerate span quantizes to %d", q)
+	}
+}
+
+// Property: Hilbert and Z-order indexes are deterministic functions of the
+// quantized cell — equal inputs, equal outputs.
+func TestCurveDeterminismProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(21))}
+	prop := func(xs, ys uint16) bool {
+		x := float64(xs)/65535*360 - 180
+		y := float64(ys)/65535*180 - 90
+		e := envAt(x, y)
+		return ZOrder(e, world) == ZOrder(e, world) && Hilbert(e, world) == Hilbert(e, world)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/mpi"
+)
+
+// boxes builds n clustered random rectangles as polygons.
+func boxes(n int, seed int64, size float64) []geom.Geometry {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.Geometry, n)
+	for i := range out {
+		x, y := r.Float64()*100, r.Float64()*100
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + r.Float64()*size, MaxY: y + r.Float64()*size}
+		out[i] = e.ToPolygon()
+	}
+	return out
+}
+
+// nestedLoopJoin is the sequential oracle.
+func nestedLoopJoin(rSet, sSet []geom.Geometry) int64 {
+	var pairs int64
+	for _, rg := range rSet {
+		for _, sg := range sSet {
+			if geom.Intersects(rg, sg) {
+				pairs++
+			}
+		}
+	}
+	return pairs
+}
+
+func scatter(geoms []geom.Geometry, rank, size int) []geom.Geometry {
+	var out []geom.Geometry
+	for i := rank; i < len(geoms); i += size {
+		out = append(out, geoms[i])
+	}
+	return out
+}
+
+// runJoin executes the distributed join and returns the aggregated
+// breakdown.
+func runJoin(t *testing.T, rSet, sSet []geom.Geometry, ranks int, opt JoinOptions) Breakdown {
+	t.Helper()
+	var out Breakdown
+	var once sync.Once
+	err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		bd, err := Join(c, scatter(rSet, c.Rank(), c.Size()), scatter(sSet, c.Rank(), c.Size()), opt)
+		if err != nil {
+			return err
+		}
+		agg, err := bd.Aggregate(c)
+		if err != nil {
+			return err
+		}
+		once.Do(func() { out = agg })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestJoinMatchesNestedLoop(t *testing.T) {
+	rSet := boxes(150, 41, 8)
+	sSet := boxes(120, 42, 8)
+	want := nestedLoopJoin(rSet, sSet)
+	if want == 0 {
+		t.Fatal("oracle found no pairs; test data too sparse")
+	}
+	for _, ranks := range []int{1, 2, 4, 6} {
+		got := runJoin(t, rSet, sSet, ranks, JoinOptions{GridCells: 64})
+		if got.Pairs != want {
+			t.Errorf("ranks=%d: pairs = %d, want %d", ranks, got.Pairs, want)
+		}
+	}
+}
+
+func TestJoinGridGranularityInvariance(t *testing.T) {
+	// Figure 17 varies grid cells; the answer must not change.
+	rSet := boxes(100, 43, 10)
+	sSet := boxes(100, 44, 10)
+	want := nestedLoopJoin(rSet, sSet)
+	for _, cells := range []int{1, 16, 256, 1024, 4096} {
+		got := runJoin(t, rSet, sSet, 4, JoinOptions{GridCells: cells})
+		if got.Pairs != want {
+			t.Errorf("cells=%d: pairs = %d, want %d", cells, got.Pairs, want)
+		}
+	}
+}
+
+func TestJoinSlidingWindow(t *testing.T) {
+	rSet := boxes(80, 45, 10)
+	sSet := boxes(80, 46, 10)
+	want := nestedLoopJoin(rSet, sSet)
+	got := runJoin(t, rSet, sSet, 3, JoinOptions{GridCells: 100, WindowCells: 7})
+	if got.Pairs != want {
+		t.Errorf("windowed join pairs = %d, want %d", got.Pairs, want)
+	}
+}
+
+func TestJoinDuplicateAvoidance(t *testing.T) {
+	// Two large overlapping rectangles spanning many cells: without the
+	// reference-point rule the pair is counted once per shared cell.
+	a := geom.Envelope{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}
+	b := geom.Envelope{MinX: 10, MinY: 10, MaxX: 60, MaxY: 60}
+	rSet := []geom.Geometry{a.ToPolygon()}
+	sSet := []geom.Geometry{b.ToPolygon()}
+	got := runJoin(t, rSet, sSet, 2, JoinOptions{GridCells: 64})
+	if got.Pairs != 1 {
+		t.Errorf("pairs = %d, want exactly 1 (duplicate avoidance)", got.Pairs)
+	}
+	dup := runJoin(t, rSet, sSet, 2, JoinOptions{GridCells: 64, KeepDuplicates: true})
+	if dup.Pairs <= 1 {
+		t.Errorf("KeepDuplicates pairs = %d, expected inflation from replication", dup.Pairs)
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	got := runJoin(t, nil, nil, 3, JoinOptions{GridCells: 16})
+	if got.Pairs != 0 {
+		t.Errorf("empty join produced %d pairs", got.Pairs)
+	}
+	rOnly := runJoin(t, boxes(10, 47, 5), nil, 3, JoinOptions{GridCells: 16})
+	if rOnly.Pairs != 0 {
+		t.Errorf("one-sided join produced %d pairs", rOnly.Pairs)
+	}
+}
+
+func TestJoinBreakdownPhases(t *testing.T) {
+	rSet := boxes(200, 48, 8)
+	sSet := boxes(200, 49, 8)
+	got := runJoin(t, rSet, sSet, 4, JoinOptions{GridCells: 64})
+	if got.Partition <= 0 || got.Comm <= 0 || got.Index <= 0 || got.Refine <= 0 {
+		t.Errorf("missing phase time: %+v", got)
+	}
+	if got.Total < got.Refine || got.Total < got.Comm {
+		t.Errorf("total %v below a component: %+v", got.Total, got)
+	}
+	sum := got.Partition + got.Comm + got.Index + got.Refine
+	if got.Total > 2*sum+1 {
+		t.Errorf("total %v wildly above the phase sum %v", got.Total, sum)
+	}
+	if got.Indexed == 0 {
+		t.Error("nothing indexed")
+	}
+}
+
+func TestBuildIndexCountsAndOwnership(t *testing.T) {
+	data := boxes(300, 50, 4)
+	var mu sync.Mutex
+	totalIndexed := int64(0)
+	err := mpi.Run(cluster.Local(4), func(c *mpi.Comm) error {
+		trees, _, bd, err := BuildIndex(c, scatter(data, c.Rank(), c.Size()), IndexOptions{GridCells: 64})
+		if err != nil {
+			return err
+		}
+		var local int64
+		for _, tr := range trees {
+			local += int64(tr.Len())
+		}
+		if local != bd.Indexed {
+			return fmt.Errorf("tree sizes %d != breakdown %d", local, bd.Indexed)
+		}
+		mu.Lock()
+		totalIndexed += local
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication can only grow the count.
+	if totalIndexed < 300 {
+		t.Errorf("indexed %d < input 300", totalIndexed)
+	}
+}
+
+func TestBuildIndexEmpty(t *testing.T) {
+	err := mpi.Run(cluster.Local(3), func(c *mpi.Comm) error {
+		trees, _, bd, err := BuildIndex(c, nil, IndexOptions{})
+		if err != nil {
+			return err
+		}
+		if len(trees) != 0 || bd.Indexed != 0 {
+			return fmt.Errorf("empty input produced %d trees", len(trees))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	data := boxes(200, 51, 6)
+	r := rand.New(rand.NewSource(52))
+	queries := make([]geom.Envelope, 20)
+	for i := range queries {
+		x, y := r.Float64()*90, r.Float64()*90
+		queries[i] = geom.Envelope{MinX: x, MinY: y, MaxX: x + 10, MaxY: y + 10}
+	}
+	var want int64
+	for _, q := range queries {
+		qp := q.ToPolygon()
+		for _, g := range data {
+			if geom.Intersects(g, qp) {
+				want++
+			}
+		}
+	}
+	var total int64
+	var mu sync.Mutex
+	err := mpi.Run(cluster.Local(4), func(c *mpi.Comm) error {
+		bd, err := RangeQuery(c, scatter(data, c.Rank(), c.Size()), queries, JoinOptions{GridCells: 49})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		total += bd.Pairs
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != want {
+		t.Errorf("range query matches = %d, want %d", total, want)
+	}
+}
+
+func TestSquareDims(t *testing.T) {
+	cases := []struct{ n, minCells int }{
+		{1, 1}, {2, 2}, {16, 16}, {100, 100}, {1000, 1000}, {2048, 2048},
+	}
+	for _, c := range cases {
+		cols, rows := squareDims(c.n)
+		if cols*rows < c.minCells {
+			t.Errorf("squareDims(%d) = %dx%d < %d", c.n, cols, rows, c.minCells)
+		}
+		if cols < rows {
+			t.Errorf("squareDims(%d) = %dx%d not near-square", c.n, cols, rows)
+		}
+	}
+}
+
+// Property: join result is symmetric (|R ⋈ S| == |S ⋈ R|) and
+// rank-count-invariant for random inputs.
+func TestJoinSymmetryProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(53))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rSet := boxes(30+r.Intn(80), seed, 12)
+		sSet := boxes(30+r.Intn(80), seed+1, 12)
+		opt := JoinOptions{GridCells: 1 + r.Intn(200)}
+		a := runJoin(t, rSet, sSet, 1+r.Intn(5), opt)
+		b := runJoin(t, sSet, rSet, 1+r.Intn(5), opt)
+		return a.Pairs == b.Pairs && a.Pairs == nestedLoopJoin(rSet, sSet)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("join symmetry property failed: %v", err)
+	}
+}

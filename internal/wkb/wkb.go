@@ -1,0 +1,265 @@
+// Package wkb implements the Well-Known Binary encoding of geometries (the
+// binary sibling of WKT, paper §2) plus the fixed-size binary record layouts
+// used by the paper's unformatted-file experiments: files of MBRs (4 doubles)
+// and of fixed-length points. WKB also serves as the serialization format of
+// the geometry exchange buffers in the all-to-all spatial partitioning step.
+package wkb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Geometry type codes, matching the OGC WKB specification.
+const (
+	codePoint           = 1
+	codeLineString      = 2
+	codePolygon         = 3
+	codeMultiPoint      = 4
+	codeMultiLineString = 5
+	codeMultiPolygon    = 6
+)
+
+// ErrTruncated is returned when the buffer ends before the geometry does.
+var ErrTruncated = errors.New("wkb: truncated input")
+
+// Append encodes g in little-endian WKB, appending to dst.
+func Append(dst []byte, g geom.Geometry) []byte {
+	dst = append(dst, 1) // little-endian marker
+	switch v := g.(type) {
+	case geom.Point:
+		dst = appendU32(dst, codePoint)
+		dst = appendPoint(dst, v)
+	case *geom.LineString:
+		dst = appendU32(dst, codeLineString)
+		dst = appendPoints(dst, v.Pts)
+	case *geom.Polygon:
+		dst = appendU32(dst, codePolygon)
+		dst = appendPolygonBody(dst, v)
+	case *geom.MultiPoint:
+		dst = appendU32(dst, codeMultiPoint)
+		dst = appendU32(dst, uint32(len(v.Pts)))
+		for _, p := range v.Pts {
+			dst = Append(dst, p)
+		}
+	case *geom.MultiLineString:
+		dst = appendU32(dst, codeMultiLineString)
+		dst = appendU32(dst, uint32(len(v.Lines)))
+		for i := range v.Lines {
+			dst = Append(dst, &v.Lines[i])
+		}
+	case *geom.MultiPolygon:
+		dst = appendU32(dst, codeMultiPolygon)
+		dst = appendU32(dst, uint32(len(v.Polys)))
+		for i := range v.Polys {
+			dst = Append(dst, &v.Polys[i])
+		}
+	default:
+		panic(fmt.Sprintf("wkb: unsupported geometry %T", g))
+	}
+	return dst
+}
+
+// Encode returns the WKB encoding of g.
+func Encode(g geom.Geometry) []byte { return Append(nil, g) }
+
+// Decode parses one WKB geometry from the front of buf and returns it along
+// with the number of bytes consumed.
+func Decode(buf []byte) (geom.Geometry, int, error) {
+	d := decoder{buf: buf}
+	g, err := d.geometry()
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, d.pos, nil
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) point() (geom.Point, error) {
+	x, err := d.f64()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := d.f64()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Point{X: x, Y: y}, nil
+}
+
+func (d *decoder) points() ([]geom.Point, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*16 > len(d.buf)-d.pos {
+		return nil, ErrTruncated
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if pts[i], err = d.point(); err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+func (d *decoder) geometry() (geom.Geometry, error) {
+	if d.pos >= len(d.buf) {
+		return nil, ErrTruncated
+	}
+	if d.buf[d.pos] != 1 {
+		return nil, fmt.Errorf("wkb: unsupported byte order marker %d", d.buf[d.pos])
+	}
+	d.pos++
+	code, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case codePoint:
+		return d.point()
+	case codeLineString:
+		pts, err := d.points()
+		if err != nil {
+			return nil, err
+		}
+		return &geom.LineString{Pts: pts}, nil
+	case codePolygon:
+		return d.polygonBody()
+	case codeMultiPoint, codeMultiLineString, codeMultiPolygon:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		return d.collection(code, int(n))
+	default:
+		return nil, fmt.Errorf("wkb: unsupported geometry code %d", code)
+	}
+}
+
+func (d *decoder) polygonBody() (*geom.Polygon, error) {
+	nRings, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nRings == 0 {
+		return nil, errors.New("wkb: polygon with zero rings")
+	}
+	poly := &geom.Polygon{}
+	for i := 0; i < int(nRings); i++ {
+		ring, err := d.points()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			poly.Shell = ring
+		} else {
+			poly.Holes = append(poly.Holes, ring)
+		}
+	}
+	return poly, nil
+}
+
+func (d *decoder) collection(code uint32, n int) (geom.Geometry, error) {
+	switch code {
+	case codeMultiPoint:
+		pts := make([]geom.Point, 0, n)
+		for i := 0; i < n; i++ {
+			g, err := d.geometry()
+			if err != nil {
+				return nil, err
+			}
+			p, ok := g.(geom.Point)
+			if !ok {
+				return nil, errors.New("wkb: MULTIPOINT element is not a point")
+			}
+			pts = append(pts, p)
+		}
+		return &geom.MultiPoint{Pts: pts}, nil
+	case codeMultiLineString:
+		lines := make([]geom.LineString, 0, n)
+		for i := 0; i < n; i++ {
+			g, err := d.geometry()
+			if err != nil {
+				return nil, err
+			}
+			l, ok := g.(*geom.LineString)
+			if !ok {
+				return nil, errors.New("wkb: MULTILINESTRING element is not a linestring")
+			}
+			lines = append(lines, *l)
+		}
+		return &geom.MultiLineString{Lines: lines}, nil
+	default:
+		polys := make([]geom.Polygon, 0, n)
+		for i := 0; i < n; i++ {
+			g, err := d.geometry()
+			if err != nil {
+				return nil, err
+			}
+			p, ok := g.(*geom.Polygon)
+			if !ok {
+				return nil, errors.New("wkb: MULTIPOLYGON element is not a polygon")
+			}
+			polys = append(polys, *p)
+		}
+		return &geom.MultiPolygon{Polys: polys}, nil
+	}
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendPoint(dst []byte, p geom.Point) []byte {
+	dst = appendF64(dst, p.X)
+	return appendF64(dst, p.Y)
+}
+
+func appendPoints(dst []byte, pts []geom.Point) []byte {
+	dst = appendU32(dst, uint32(len(pts)))
+	for _, p := range pts {
+		dst = appendPoint(dst, p)
+	}
+	return dst
+}
+
+func appendPolygonBody(dst []byte, poly *geom.Polygon) []byte {
+	dst = appendU32(dst, uint32(1+len(poly.Holes)))
+	dst = appendPoints(dst, poly.Shell)
+	for _, h := range poly.Holes {
+		dst = appendPoints(dst, h)
+	}
+	return dst
+}

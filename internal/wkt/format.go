@@ -1,0 +1,81 @@
+package wkt
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/geom"
+)
+
+// Format renders a geometry as a WKT string.
+func Format(g geom.Geometry) string {
+	return string(Append(nil, g))
+}
+
+// Append appends the WKT text of g to dst and returns the extended slice,
+// following the append-style API of the strconv package so dataset writers
+// can stream millions of records without per-record allocations.
+func Append(dst []byte, g geom.Geometry) []byte {
+	switch v := g.(type) {
+	case geom.Point:
+		dst = append(dst, "POINT ("...)
+		dst = appendCoord(dst, v)
+		return append(dst, ')')
+	case *geom.LineString:
+		dst = append(dst, "LINESTRING "...)
+		return appendPointList(dst, v.Pts)
+	case *geom.Polygon:
+		dst = append(dst, "POLYGON "...)
+		return appendRings(dst, v)
+	case *geom.MultiPoint:
+		dst = append(dst, "MULTIPOINT "...)
+		return appendPointList(dst, v.Pts)
+	case *geom.MultiLineString:
+		dst = append(dst, "MULTILINESTRING ("...)
+		for i := range v.Lines {
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = appendPointList(dst, v.Lines[i].Pts)
+		}
+		return append(dst, ')')
+	case *geom.MultiPolygon:
+		dst = append(dst, "MULTIPOLYGON ("...)
+		for i := range v.Polys {
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = appendRings(dst, &v.Polys[i])
+		}
+		return append(dst, ')')
+	default:
+		return append(dst, fmt.Sprintf("UNSUPPORTED(%T)", g)...)
+	}
+}
+
+func appendCoord(dst []byte, p geom.Point) []byte {
+	dst = strconv.AppendFloat(dst, p.X, 'g', -1, 64)
+	dst = append(dst, ' ')
+	return strconv.AppendFloat(dst, p.Y, 'g', -1, 64)
+}
+
+func appendPointList(dst []byte, pts []geom.Point) []byte {
+	dst = append(dst, '(')
+	for i, p := range pts {
+		if i > 0 {
+			dst = append(dst, ", "...)
+		}
+		dst = appendCoord(dst, p)
+	}
+	return append(dst, ')')
+}
+
+func appendRings(dst []byte, poly *geom.Polygon) []byte {
+	dst = append(dst, '(')
+	dst = appendPointList(dst, poly.Shell)
+	for _, h := range poly.Holes {
+		dst = append(dst, ", "...)
+		dst = appendPointList(dst, h)
+	}
+	return append(dst, ')')
+}

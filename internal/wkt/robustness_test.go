@@ -1,0 +1,100 @@
+package wkt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary byte soup must produce an error or a
+// geometry, never a panic — ReadPartition feeds the parser raw file
+// fragments under SkipErrors.
+func TestParseNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(55))}
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", data, r)
+				ok = false
+			}
+		}()
+		g, err := Parse(data)
+		return err != nil || g != nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMutatedWKTNeverPanics: corrupted versions of valid WKT — the
+// realistic failure mode when a partition boundary lands mid-record — must
+// degrade to errors, not panics or bogus geometries with NaN envelopes.
+func TestParseMutatedWKTNeverPanics(t *testing.T) {
+	base := []string{
+		"POINT (30 10)",
+		"LINESTRING (30 10, 10 30, 40 40)",
+		"POLYGON ((30 10, 40 40, 20 40, 10 20, 30 10))",
+		"MULTIPOINT ((10 40), (40 30))",
+		"POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
+	}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5000; trial++ {
+		rec := []byte(base[r.Intn(len(base))])
+		switch r.Intn(4) {
+		case 0: // truncate
+			rec = rec[:r.Intn(len(rec)+1)]
+		case 1: // flip a byte
+			if len(rec) > 0 {
+				rec[r.Intn(len(rec))] = byte(r.Intn(256))
+			}
+		case 2: // delete a byte
+			if len(rec) > 1 {
+				i := r.Intn(len(rec))
+				rec = append(rec[:i], rec[i+1:]...)
+			}
+		case 3: // duplicate a chunk
+			if len(rec) > 2 {
+				i := r.Intn(len(rec) - 1)
+				rec = append(rec[:i], append([]byte(string(rec[i:i+1])), rec[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated record %q: %v", rec, p)
+				}
+			}()
+			g, err := Parse(rec)
+			if err == nil && g != nil {
+				e := g.Envelope()
+				if e.MinX != e.MinX || e.MaxY != e.MaxY { // NaN check
+					t.Fatalf("mutated record %q parsed into NaN envelope", rec)
+				}
+			}
+		}()
+	}
+}
+
+// TestFormatParseFixpoint: Format(Parse(Format(g))) == Format(g) — the
+// round trip is a fixpoint even when float formatting normalizes.
+func TestFormatParseFixpoint(t *testing.T) {
+	inputs := []string{
+		"POINT (1.5 -2.25)",
+		"LINESTRING (0 0, 0.1 0.2, 0.30001 7)",
+		"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+	}
+	for _, in := range inputs {
+		g1, err := ParseString(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		f1 := Format(g1)
+		g2, err := ParseString(f1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", f1, err)
+		}
+		if f2 := Format(g2); f2 != f1 {
+			t.Errorf("not a fixpoint: %q -> %q", f1, f2)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package wkt reads and writes the Well-Known Text markup for vector
+// geometries (OGC simple features), the primary on-disk format of the
+// paper's datasets. The parser is a hand-rolled recursive-descent scanner:
+// WKT records in the OSM extracts range from tens of bytes to >10 MB, so it
+// avoids regexp and string splitting and works directly on byte slices.
+package wkt
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/geom"
+)
+
+// ErrEmpty is returned when the input contains no geometry text.
+var ErrEmpty = errors.New("wkt: empty input")
+
+// SyntaxError describes a malformed WKT record.
+type SyntaxError struct {
+	Offset int    // byte offset of the problem
+	Msg    string // what went wrong
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("wkt: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+// Parse decodes one WKT record into a geometry.
+func Parse(data []byte) (geom.Geometry, error) {
+	p := parser{buf: data}
+	p.skipSpace()
+	if p.pos >= len(p.buf) {
+		return nil, ErrEmpty
+	}
+	g, err := p.parseGeometry()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.buf) {
+		return nil, p.errf("trailing data after geometry")
+	}
+	return g, nil
+}
+
+// ParseString is Parse for string inputs.
+func ParseString(s string) (geom.Geometry, error) { return Parse([]byte(s)) }
+
+type parser struct {
+	buf []byte
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// keyword consumes a case-insensitive ASCII identifier.
+func (p *parser) keyword() string {
+	start := p.pos
+	for p.pos < len(p.buf) {
+		c := p.buf[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return upper(p.buf[start:p.pos])
+}
+
+func upper(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.buf) || p.buf[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.buf) {
+		return 0
+	}
+	return p.buf[p.pos]
+}
+
+// number parses one floating-point literal.
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.buf) {
+		c := p.buf[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	v, err := strconv.ParseFloat(string(p.buf[start:p.pos]), 64)
+	if err != nil {
+		p.pos = start
+		return 0, p.errf("bad number %q", string(p.buf[start:p.pos]))
+	}
+	return v, nil
+}
+
+// isEmptyTag consumes the EMPTY keyword if present.
+func (p *parser) isEmptyTag() bool {
+	p.skipSpace()
+	save := p.pos
+	if p.keyword() == "EMPTY" {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+func (p *parser) parseGeometry() (geom.Geometry, error) {
+	p.skipSpace()
+	switch kw := p.keyword(); kw {
+	case "POINT":
+		if p.isEmptyTag() {
+			return nil, p.errf("POINT EMPTY not supported")
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		pt, err := p.point()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return pt, nil
+	case "LINESTRING":
+		pts, err := p.pointList()
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) < 2 {
+			return nil, p.errf("LINESTRING needs >= 2 points, got %d", len(pts))
+		}
+		return &geom.LineString{Pts: pts}, nil
+	case "POLYGON":
+		rings, err := p.ringList()
+		if err != nil {
+			return nil, err
+		}
+		return polygonFromRings(p, rings)
+	case "MULTIPOINT":
+		pts, err := p.multiPointList()
+		if err != nil {
+			return nil, err
+		}
+		return &geom.MultiPoint{Pts: pts}, nil
+	case "MULTILINESTRING":
+		rings, err := p.ringList()
+		if err != nil {
+			return nil, err
+		}
+		lines := make([]geom.LineString, len(rings))
+		for i, r := range rings {
+			if len(r) < 2 {
+				return nil, p.errf("MULTILINESTRING element needs >= 2 points")
+			}
+			lines[i] = geom.LineString{Pts: r}
+		}
+		return &geom.MultiLineString{Lines: lines}, nil
+	case "MULTIPOLYGON":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var polys []geom.Polygon
+		for {
+			rings, err := p.ringList()
+			if err != nil {
+				return nil, err
+			}
+			poly, err := polygonFromRings(p, rings)
+			if err != nil {
+				return nil, err
+			}
+			polys = append(polys, *poly)
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &geom.MultiPolygon{Polys: polys}, nil
+	case "":
+		return nil, p.errf("expected geometry keyword")
+	default:
+		return nil, p.errf("unsupported geometry type %q", kw)
+	}
+}
+
+func polygonFromRings(p *parser, rings [][]geom.Point) (*geom.Polygon, error) {
+	if len(rings) == 0 {
+		return nil, p.errf("POLYGON needs at least a shell ring")
+	}
+	for _, r := range rings {
+		if len(r) < 4 {
+			return nil, p.errf("polygon ring needs >= 4 points, got %d", len(r))
+		}
+		if r[0] != r[len(r)-1] {
+			return nil, p.errf("polygon ring is not closed")
+		}
+	}
+	holes := rings[1:]
+	if len(holes) == 0 {
+		holes = nil
+	}
+	return &geom.Polygon{Shell: rings[0], Holes: holes}, nil
+}
+
+// point parses "x y".
+func (p *parser) point() (geom.Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Point{X: x, Y: y}, nil
+}
+
+// pointList parses "(x y, x y, ...)".
+func (p *parser) pointList() ([]geom.Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []geom.Point
+	for {
+		pt, err := p.point()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// ringList parses "((...), (...), ...)".
+func (p *parser) ringList() ([][]geom.Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var rings [][]geom.Point
+	for {
+		pts, err := p.pointList()
+		if err != nil {
+			return nil, err
+		}
+		rings = append(rings, pts)
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return rings, nil
+}
+
+// multiPointList accepts both MULTIPOINT(1 2, 3 4) and MULTIPOINT((1 2),(3 4)).
+func (p *parser) multiPointList() ([]geom.Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []geom.Point
+	for {
+		var pt geom.Point
+		var err error
+		if p.peek() == '(' {
+			p.pos++
+			pt, err = p.point()
+			if err == nil {
+				err = p.expect(')')
+			}
+		} else {
+			pt, err = p.point()
+		}
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

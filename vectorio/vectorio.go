@@ -1,0 +1,254 @@
+// Package vectorio is the public face of the MPI-Vector-IO reproduction: a
+// parallel I/O and partitioning library for geospatial vector data, after
+// "MPI-Vector-IO: Parallel I/O and Partitioning for Geospatial Vector Data"
+// (Puri, Paudel, Prasad — ICPP 2018).
+//
+// The library runs SPMD programs over an in-process message-passing runtime
+// with a virtual-time cost model calibrated to the paper's clusters (COMET
+// with Lustre, ROGER with GPFS), so experiments report full-scale-equivalent
+// times while moving real bytes through real algorithms.
+//
+// A minimal program reads and spatially partitions a WKT file across ranks:
+//
+//	cfg := vectorio.Local(4)
+//	err := vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		f := vectorio.Open(c, pfsFile, vectorio.Hints{})
+//		geoms, stats, err := vectorio.ReadPartition(c, f, vectorio.WKTParser{}, vectorio.ReadOptions{})
+//		...
+//	})
+//
+// See the examples/ directory for complete programs: quickstart (parallel
+// read), spatialjoin (the paper's end-to-end exemplar), rangequery
+// (filter-and-refine batch queries) and gridindex (parallel R-tree
+// construction).
+package vectorio
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/rtree"
+	"repro/internal/spatial"
+	"repro/internal/wkt"
+)
+
+// Message-passing runtime (the MPI substitute): ranks are goroutines,
+// point-to-point is blocking with eager/rendezvous protocols, collectives
+// are built from point-to-point with textbook algorithms.
+type (
+	// Comm is one rank's communicator handle (MPI_COMM_WORLD).
+	Comm = mpi.Comm
+	// Status mirrors MPI_Status for receives and probes.
+	Status = mpi.Status
+	// Datatype is an MPI derived datatype.
+	Datatype = mpi.Datatype
+	// Op is a reduction operator (MPI_Op).
+	Op = mpi.Op
+	// ClusterConfig describes the machine the cost model simulates.
+	ClusterConfig = cluster.Config
+)
+
+// Run launches fn on every rank of the configured cluster and waits for all
+// of them, aborting the world on the first error (MPI_ERRORS_ARE_FATAL).
+func Run(cfg *ClusterConfig, fn func(c *Comm) error) error { return mpi.Run(cfg, fn) }
+
+// Cluster presets.
+var (
+	// Comet models SDSC COMET: 24-core nodes, 16 ranks/node, FDR 56 Gb/s,
+	// Lustre with up to 96 OSTs (the paper's Level-0/1 testbed).
+	Comet = cluster.Comet
+	// Roger models the ROGER CyberGIS cluster: 20 ranks/node, 40 Gb/s,
+	// GPFS (the paper's end-to-end testbed).
+	Roger = cluster.Roger
+	// Local is a single-node configuration for laptops and tests.
+	Local = cluster.Local
+)
+
+// Parallel filesystem simulation.
+type (
+	// FS is a simulated parallel filesystem volume.
+	FS = pfs.FS
+	// PFSFile is a striped file on a simulated volume.
+	PFSFile = pfs.File
+	// PFSParams selects and tunes the filesystem model.
+	PFSParams = pfs.Params
+)
+
+// Filesystem presets and constructor.
+var (
+	// NewFS creates a filesystem volume from parameters.
+	NewFS = pfs.New
+	// CometLustre is the COMET Lustre model (96 OSTs, striping control).
+	CometLustre = pfs.CometLustre
+	// RogerGPFS is the ROGER GPFS model (uniform block distribution).
+	RogerGPFS = pfs.RogerGPFS
+	// BasicNFS is the single-server NFS model of the paper's side note.
+	BasicNFS = pfs.BasicNFS
+)
+
+// MPI-IO layer (ROMIO substitute): independent and collective reads, file
+// views, hints, aggregator selection, the 2 GB single-operation limit.
+type (
+	// File is an MPI file handle opened across a communicator.
+	File = mpiio.File
+	// Hints carries cb_nodes / cb_buffer_size (MPI_Info).
+	Hints = mpiio.Hints
+)
+
+// Open associates a parallel-filesystem file with a communicator.
+func Open(c *Comm, f *PFSFile, h Hints) *File { return mpiio.Open(c, f, h) }
+
+// Core library: parallel reading and partitioning of vector data.
+type (
+	// Parser converts one file record into a geometry (§4.3's flexible
+	// interface); WKTParser is the included WKT implementation.
+	Parser = core.Parser
+	// WKTParser parses newline-delimited WKT records.
+	WKTParser = core.WKTParser
+	// ReadOptions configures ReadPartition (block size, access level,
+	// boundary strategy, halo size).
+	ReadOptions = core.ReadOptions
+	// ReadStats reports a rank's I/O, communication and parsing work.
+	ReadStats = core.ReadStats
+	// AccessLevel selects independent (Level0) or collective (Level1)
+	// MPI-IO read functions.
+	AccessLevel = core.AccessLevel
+	// Strategy selects message-based (Algorithm 1) or overlap boundary
+	// handling.
+	Strategy = core.Strategy
+	// Partitioner performs grid-based global spatial partitioning with the
+	// two-round all-to-all exchange.
+	Partitioner = core.Partitioner
+	// ExchangeStats reports a rank's partitioning work.
+	ExchangeStats = core.ExchangeStats
+)
+
+// Access levels and strategies (paper Table 1 and §4.1).
+const (
+	Level0       = core.Level0
+	Level1       = core.Level1
+	MessageBased = core.MessageBased
+	Overlap      = core.Overlap
+)
+
+// ReadPartition reads and partitions a vector file across all ranks: every
+// rank returns the geometries whose records end inside its partitions
+// (Algorithm 1 by default). All ranks must call it collectively.
+func ReadPartition(c *Comm, f *File, p Parser, opt ReadOptions) ([]Geometry, ReadStats, error) {
+	return core.ReadPartition(c, f, p, opt)
+}
+
+// Spatial MPI extensions (paper Table 2): derived datatypes and reduction
+// operators for spatial primitives.
+var (
+	PointType = core.PointType
+	LineType  = core.LineType
+	RectType  = core.RectType
+
+	OpRectUnion = core.OpRectUnion
+	OpRectMin   = core.OpRectMin
+	OpRectMax   = core.OpRectMax
+	OpPointMin  = core.OpPointMin
+	OpPointMax  = core.OpPointMax
+	OpLineMin   = core.OpLineMin
+	OpLineMax   = core.OpLineMax
+
+	// GlobalEnvelope unions every rank's local envelope with MPI_UNION —
+	// how the global grid dimensions are fixed (§4.2.2).
+	GlobalEnvelope = core.GlobalEnvelope
+	// LocalEnvelope unions the MBRs of a geometry batch.
+	LocalEnvelope = core.LocalEnvelope
+	// ReduceRects / ScanRects / AllreduceRects run spatial reductions over
+	// rectangle arrays (Figure 6's usage pattern).
+	ReduceRects    = core.ReduceRects
+	ScanRects      = core.ScanRects
+	AllreduceRects = core.AllreduceRects
+)
+
+// Geometry model (the GEOS substitute).
+type (
+	// Geometry is any OGC-style geometry (Point, LineString, Polygon,
+	// Multi*).
+	Geometry = geom.Geometry
+	// Point is a 2D point.
+	Point = geom.Point
+	// Envelope is an axis-aligned bounding rectangle (MBR).
+	Envelope = geom.Envelope
+	// RTree indexes geometries by envelope.
+	RTree = rtree.Tree[geom.Geometry]
+)
+
+// Geometry helpers.
+var (
+	// ParseWKT parses one WKT geometry.
+	ParseWKT = wkt.ParseString
+	// FormatWKT renders a geometry as WKT.
+	FormatWKT = wkt.Format
+	// Intersects is the exact-geometry intersection predicate used in the
+	// refine phase.
+	Intersects = geom.Intersects
+)
+
+// Filter-and-refine framework and workloads (§4.3, §5.2).
+type (
+	// JoinOptions configures a distributed spatial join.
+	JoinOptions = spatial.JoinOptions
+	// IndexOptions configures parallel index construction.
+	IndexOptions = spatial.IndexOptions
+	// Breakdown is the per-phase timing of Figures 17-20.
+	Breakdown = spatial.Breakdown
+)
+
+// Workload entry points. All are collective calls.
+var (
+	// Join joins two already-read local geometry batches.
+	Join = spatial.Join
+	// JoinFiles is the end-to-end exemplar: read, partition and join two
+	// vector files.
+	JoinFiles = spatial.JoinFiles
+	// BuildIndex grid-partitions geometries and builds one R-tree per
+	// owned cell (Figure 20's workload).
+	BuildIndex = spatial.BuildIndex
+	// RangeQuery evaluates a batch of rectangular queries with
+	// filter-and-refine.
+	RangeQuery = spatial.RangeQuery
+	// WriteCells writes distributed per-cell results to one shared file in
+	// global grid order through a non-contiguous collective write (§4.1's
+	// output pattern).
+	WriteCells = spatial.WriteCells
+)
+
+// Grid construction for custom partitioning pipelines.
+type Grid = grid.Grid
+
+// NewGrid builds a uniform cellular grid over an envelope.
+var NewGrid = grid.New
+
+// Synthetic dataset generation (the OSM-extract substitute).
+type (
+	// DatasetSpec describes one Table 3 dataset in full-scale terms.
+	DatasetSpec = datagen.Spec
+	// DatasetStats reports what a generation run produced.
+	DatasetStats = datagen.Stats
+)
+
+// Table 3 dataset presets and generators.
+var (
+	Cemetery    = datagen.Cemetery
+	Lakes       = datagen.Lakes
+	Roads       = datagen.Roads
+	AllObjects  = datagen.AllObjects
+	RoadNetwork = datagen.RoadNetwork
+	AllNodes    = datagen.AllNodes
+	AllDatasets = datagen.AllDatasets
+
+	// Generate writes a scaled dataset as newline-delimited WKT.
+	Generate = datagen.Generate
+	// GenerateFile generates a dataset onto a simulated filesystem.
+	GenerateFile = datagen.GenerateFile
+)

@@ -1,0 +1,146 @@
+package vectorio_test
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/vectorio"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way a
+// downstream GIS application would: create a filesystem and file, read and
+// partition WKT across ranks, size a grid with the MPI_UNION reduction,
+// join two layers, and write grid-ordered output — all through the facade.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	fs, err := vectorio.NewFS(vectorio.CometLustre())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerR, err := fs.Create("r.wkt", 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerS, err := fs.Create("s.wkt", 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R: a 10x10 lattice of unit squares; S: points at some centers.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			layerR.Append([]byte(fmt.Sprintf(
+				"POLYGON ((%d %d, %d %d, %d %d, %d %d, %d %d))\n",
+				i, j, i+1, j, i+1, j+1, i, j+1, i, j)))
+		}
+	}
+	for i := 0; i < 10; i += 2 {
+		layerS.Append([]byte(fmt.Sprintf("POINT (%d.5 %d.5)\n", i, i)))
+	}
+
+	out, err := fs.Create("joined.wkt", 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pairs int64
+	var outTotal int64
+	var mu sync.Mutex
+	err = vectorio.Run(vectorio.Local(4), func(c *vectorio.Comm) error {
+		fR := vectorio.Open(c, layerR, vectorio.Hints{})
+		fS := vectorio.Open(c, layerS, vectorio.Hints{})
+
+		// Collective read of both layers.
+		localR, _, err := vectorio.ReadPartition(c, fR, vectorio.WKTParser{}, vectorio.ReadOptions{})
+		if err != nil {
+			return err
+		}
+		localS, _, err := vectorio.ReadPartition(c, fS, vectorio.WKTParser{}, vectorio.ReadOptions{
+			Level: vectorio.Level1,
+		})
+		if err != nil {
+			return err
+		}
+
+		// Spatial reduction: the global envelope must cover the lattice.
+		env, err := vectorio.GlobalEnvelope(c, vectorio.LocalEnvelope(localR))
+		if err != nil {
+			return err
+		}
+		if env.MinX > 0 || env.MaxX < 10 {
+			return fmt.Errorf("global envelope %v does not cover the lattice", env)
+		}
+
+		// Distributed join: each S point hits exactly the 1-4 squares
+		// containing it; centers hit exactly one.
+		bd, err := vectorio.Join(c, localR, localS, vectorio.JoinOptions{GridCells: 16})
+		if err != nil {
+			return err
+		}
+		agg, err := bd.Aggregate(c)
+		if err != nil {
+			return err
+		}
+
+		// Grid-partition R and write it back in grid order.
+		g, err := vectorio.NewGrid(env, 4, 4)
+		if err != nil {
+			return err
+		}
+		pt := &vectorio.Partitioner{Grid: g}
+		owned, _, err := pt.Exchange(c, localR)
+		if err != nil {
+			return err
+		}
+		fOut := vectorio.Open(c, out, vectorio.Hints{})
+		total, err := vectorio.WriteCells(c, fOut, g, owned)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if c.Rank() == 0 {
+			pairs = agg.Pairs
+			outTotal = total
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pairs != 5 {
+		t.Errorf("join found %d pairs, want 5 (one square per point)", pairs)
+	}
+	if outTotal != out.Size() {
+		t.Errorf("WriteCells reported %d bytes, file has %d", outTotal, out.Size())
+	}
+	// The output must contain every lattice square at least once
+	// (boundary-spanning squares are replicated into multiple cells).
+	data := make([]byte, out.Size())
+	if _, err := out.ReadAt(data, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "POLYGON")
+	if lines < 100 {
+		t.Errorf("output holds %d polygons, want >= 100", lines)
+	}
+}
+
+// TestDatasetPresetsExposed sanity-checks the six Table 3 presets through
+// the facade.
+func TestDatasetPresetsExposed(t *testing.T) {
+	specs := vectorio.AllDatasets()
+	if len(specs) != 6 {
+		t.Fatalf("%d presets, want 6", len(specs))
+	}
+	var sb strings.Builder
+	stats, err := vectorio.Generate(vectorio.Cemetery(), 4096, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records == 0 || !strings.Contains(sb.String(), "POLYGON") {
+		t.Error("cemetery preset generated no polygons")
+	}
+}
