@@ -7,9 +7,15 @@
 //	vectorio-bench -exp all             # the full evaluation
 //	vectorio-bench -list                # show experiment ids
 //	vectorio-bench -exp fig17 -scale-mul 4 -quick
+//	vectorio-bench -bench-ingest        # wall-clock ingest baseline -> BENCH_ingest.json
 //
 // -scale-mul multiplies every dataset's default scale factor (larger means
 // smaller real files and faster runs); -quick shrinks parameter sweeps.
+//
+// -bench-ingest measures the ingest hot path (WKT parsing and end-to-end
+// ReadPartition) in real wall-clock time with allocation counts and writes
+// the trajectory artifact BENCH_ingest.json, comparing against the frozen
+// seed-parser baseline.
 package main
 
 import (
@@ -26,6 +32,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	scaleMul := flag.Float64("scale-mul", 1, "multiply dataset scale factors (bigger = faster, smaller files)")
 	quick := flag.Bool("quick", false, "shrink parameter sweeps")
+	ingest := flag.Bool("bench-ingest", false, "measure the wall-clock ingest baseline and write BENCH_ingest.json")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +44,26 @@ func main() {
 	}
 
 	cfg := bench.Config{ScaleMul: *scaleMul, Quick: *quick}
+
+	if *ingest {
+		rep, err := bench.RunIngestReport(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vectorio-bench: bench-ingest:", err)
+			os.Exit(1)
+		}
+		rep.IngestTable().Print(os.Stdout)
+		payload, err := rep.IngestJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vectorio-bench: bench-ingest:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ingestOut, payload, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vectorio-bench: bench-ingest:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (wrote %s)\n", *ingestOut)
+		return
+	}
 	run := func(e bench.Experiment) error {
 		start := time.Now()
 		tbl, err := e.Run(cfg)

@@ -56,7 +56,10 @@ func main() {
 	cfg := vectorio.Local(4)
 	err = vectorio.Run(cfg, func(c *vectorio.Comm) error {
 		mf := vectorio.Open(c, f, vectorio.Hints{})
-		geoms, stats, err := vectorio.ReadPartition(c, mf, vectorio.WKTParser{}, vectorio.ReadOptions{
+		// NewWKTParser gives this rank a dedicated coordinate arena — the
+		// allocation-free hot-path configuration (zero-value WKTParser{}
+		// works too and may be shared).
+		geoms, stats, err := vectorio.ReadPartition(c, mf, vectorio.NewWKTParser(), vectorio.ReadOptions{
 			BlockSize: 48, // absurdly small blocks to force boundary handling
 		})
 		if err != nil {

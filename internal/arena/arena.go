@@ -1,0 +1,22 @@
+// Package arena holds the small buffer-recycling primitives shared by the
+// zero-allocation ingest path (the core read arena and the mpiio
+// collective-read scratch), so the grow-or-reuse policy cannot drift
+// between its users.
+package arena
+
+// GrowBuf returns buf resized to length n, reusing its backing array when
+// the capacity allows and reallocating with at-least-doubled capacity
+// otherwise. The steady-state contract of every recycled ingest buffer:
+// after warm-up, no allocation. The returned buffer's contents beyond any
+// previously written length are unspecified — callers overwrite before
+// reading.
+func GrowBuf(buf []byte, n int) []byte {
+	if n <= cap(buf) {
+		return buf[:n]
+	}
+	c := 2 * cap(buf)
+	if c < n {
+		c = n
+	}
+	return make([]byte, n, c)
+}

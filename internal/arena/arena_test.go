@@ -1,0 +1,44 @@
+package arena
+
+import "testing"
+
+func TestGrowBufReuse(t *testing.T) {
+	b := GrowBuf(nil, 8)
+	if len(b) != 8 {
+		t.Fatalf("len = %d", len(b))
+	}
+	b[0] = 42
+	c := GrowBuf(b, 4)
+	if len(c) != 4 || &c[0] != &b[0] {
+		t.Error("shrink within capacity must reuse the backing array")
+	}
+	d := GrowBuf(c, cap(c))
+	if &d[0] != &b[0] {
+		t.Error("grow within capacity must reuse the backing array")
+	}
+}
+
+func TestGrowBufDoubles(t *testing.T) {
+	b := GrowBuf(nil, 100)
+	g := GrowBuf(b, 101)
+	if cap(g) < 200 {
+		t.Errorf("cap = %d, want at least doubled (200)", cap(g))
+	}
+	h := GrowBuf(nil, 1000)
+	if cap(h) < 1000 {
+		t.Errorf("cap = %d, want >= requested", cap(h))
+	}
+	if got := GrowBuf(nil, 0); len(got) != 0 {
+		t.Errorf("zero-length grow: len = %d", len(got))
+	}
+}
+
+func TestGrowBufAllocFree(t *testing.T) {
+	b := GrowBuf(nil, 1<<12)
+	allocs := testing.AllocsPerRun(100, func() {
+		b = GrowBuf(b, 1<<12)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state GrowBuf = %.1f allocs, want 0", allocs)
+	}
+}

@@ -253,7 +253,7 @@ func AblationWindow(cfg Config) (*Table, error) {
 		cc := rogerCluster(procs, scale)
 		err := mpi.Run(cc, func(c *mpi.Comm) error {
 			mf := mpiio.Open(c, f, mpiio.Hints{})
-			local, _, err := core.ReadPartition(c, mf, core.WKTParser{}, core.ReadOptions{
+			local, _, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
 				BlockSize: realBytes(64e6, scale),
 			})
 			if err != nil {
@@ -317,7 +317,7 @@ func AblationCellIndex(cfg Config) (*Table, error) {
 		cc := rogerCluster(procs, scale)
 		err := mpi.Run(cc, func(c *mpi.Comm) error {
 			mf := mpiio.Open(c, f, mpiio.Hints{})
-			local, _, err := core.ReadPartition(c, mf, core.WKTParser{}, core.ReadOptions{
+			local, _, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
 				BlockSize: realBytes(64e6, scale),
 			})
 			if err != nil {
@@ -386,7 +386,7 @@ func AblationDuplicates(cfg Config) (*Table, error) {
 		err := mpi.Run(cc, func(c *mpi.Comm) error {
 			mfR := mpiio.Open(c, fR, mpiio.Hints{})
 			mfS := mpiio.Open(c, fS, mpiio.Hints{})
-			res, err := spatial.JoinFiles(c, mfR, mfS, core.WKTParser{},
+			res, err := spatial.JoinFiles(c, mfR, mfS, core.NewWKTParser(),
 				core.ReadOptions{BlockSize: realBytes(64e6, scale)},
 				spatial.JoinOptions{GridCells: 16384, KeepDuplicates: keep})
 			if err != nil {

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// ParserSample is one parser microbenchmark measurement. Unlike the rest of
+// this package, the ingest report is measured in real wall-clock time (with
+// allocation counts from the Go testing runtime), not virtual time: it
+// tracks the reproduction's own hot-path efficiency across PRs rather than
+// the paper's modeled cluster.
+type ParserSample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// IngestRun is one end-to-end ReadPartition measurement.
+type IngestRun struct {
+	Dataset       string  `json:"dataset"`
+	Ranks         int     `json:"ranks"`
+	Records       int     `json:"records"`
+	BytesRead     int64   `json:"bytes_read"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+// IngestReport is the BENCH_ingest.json artifact: the perf trajectory
+// baseline for the ingest hot path. SeedParser pins the numbers measured on
+// the seed parser (PR 1, before the zero-allocation rewrite) so later PRs
+// can report progress against a fixed origin.
+type IngestReport struct {
+	GeneratedAt string                  `json:"generated_at"`
+	GoVersion   string                  `json:"go_version"`
+	Parser      map[string]ParserSample `json:"parser"`
+	SeedParser  map[string]ParserSample `json:"seed_parser"`
+	Ingest      []IngestRun             `json:"ingest"`
+}
+
+// seedParserBaseline is the seed (pre-rewrite) scanner measured on the same
+// fixtures via `go test -bench BenchmarkWKTParse` at PR 1. ns/op is the
+// median of three runs on the PR-1 build machine; allocation counts are
+// deterministic.
+func seedParserBaseline() map[string]ParserSample {
+	return map[string]ParserSample{
+		"point":        {NsPerOp: 231, MBPerSec: 103.7, AllocsPerOp: 3, BytesPerOp: 26},
+		"linestring":   {NsPerOp: 973, MBPerSec: 65.8, AllocsPerOp: 7, BytesPerOp: 296},
+		"polygon":      {NsPerOp: 1135, MBPerSec: 66.1, AllocsPerOp: 12, BytesPerOp: 488},
+		"multipolygon": {NsPerOp: 1250, MBPerSec: 64.8, AllocsPerOp: 16, BytesPerOp: 696},
+	}
+}
+
+// ingestFixtures mirrors the fixtures of internal/wkt's benchmark suite so
+// the JSON trajectory and `go test -bench` agree.
+var ingestFixtures = []struct {
+	key string
+	rec []byte
+}{
+	{"point", []byte("POINT (-87.6847 41.8369)")},
+	{"linestring", []byte("LINESTRING (30 10, 10 30, 40 40, 20 15, 35 5, 30 10, 12 8, 44 2)")},
+	{"polygon", []byte("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))")},
+	{"multipolygon", []byte("MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), ((15 5, 40 10, 10 20, 5 10, 15 5)))")},
+}
+
+// RunIngestReport measures the current parser and end-to-end ingest path in
+// wall-clock time and returns the trajectory artifact.
+func RunIngestReport(cfg Config) (*IngestReport, error) {
+	rep := &IngestReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Parser:      make(map[string]ParserSample),
+		SeedParser:  seedParserBaseline(),
+	}
+	for _, fx := range ingestFixtures {
+		p := core.NewWKTParser()
+		rec := fx.rec
+		res := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(rec)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Parse(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		rep.Parser[fx.key] = ParserSample{
+			NsPerOp:     ns,
+			MBPerSec:    float64(len(rec)) / ns * 1e3,
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+
+	// End-to-end: read + ring-exchange + parse a polygon dataset across a
+	// small local world, wall-clock.
+	for _, ranks := range []int{1, 4} {
+		run, err := ingestOnce(cfg, ranks)
+		if err != nil {
+			return nil, err
+		}
+		rep.Ingest = append(rep.Ingest, run)
+	}
+	return rep, nil
+}
+
+func ingestOnce(cfg Config, ranks int) (IngestRun, error) {
+	spec := datagen.Lakes()
+	// Lakes at 9 GB full scale; divide down to ~18 MB of real bytes so the
+	// measurement stays sub-second but spans many blocks per rank.
+	scale := cfg.scale(512)
+	f, err := dataset(spec, scale, pfs.RogerGPFS(), 0, 0)
+	if err != nil {
+		return IngestRun{}, err
+	}
+	var (
+		mu        sync.Mutex
+		records   int
+		bytesRead int64
+	)
+	start := time.Now()
+	err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		mf := mpiio.Open(c, f, mpiio.Hints{})
+		_, stats, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
+			BlockSize: realBytes(256<<20, scale),
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		records += stats.Records
+		bytesRead += stats.BytesRead
+		mu.Unlock()
+		return nil
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return IngestRun{}, fmt.Errorf("ingest %d ranks: %w", ranks, err)
+	}
+	return IngestRun{
+		Dataset:       spec.Name,
+		Ranks:         ranks,
+		Records:       records,
+		BytesRead:     bytesRead,
+		WallSeconds:   wall,
+		RecordsPerSec: float64(records) / wall,
+		MBPerSec:      float64(bytesRead) / wall / 1e6,
+	}, nil
+}
+
+// IngestJSON renders the report as the BENCH_ingest.json payload.
+func (r *IngestReport) IngestJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// IngestTable summarizes the report for terminal output alongside the other
+// experiments.
+func (r *IngestReport) IngestTable() *Table {
+	t := &Table{
+		ID:     "bench-ingest",
+		Title:  "Ingest hot path, wall-clock (real time, not virtual)",
+		Header: []string{"Fixture", "ns/op", "MB/s", "allocs/op", "seed allocs/op"},
+		Notes:  "parser rows are per-record microbenchmarks; ingest rows are end-to-end ReadPartition",
+	}
+	for _, fx := range ingestFixtures {
+		cur := r.Parser[fx.key]
+		seed := r.SeedParser[fx.key]
+		t.Rows = append(t.Rows, []string{
+			fx.key,
+			fmt.Sprintf("%.0f", cur.NsPerOp),
+			fmt.Sprintf("%.1f", cur.MBPerSec),
+			fmt.Sprintf("%d", cur.AllocsPerOp),
+			fmt.Sprintf("%d", seed.AllocsPerOp),
+		})
+	}
+	for _, run := range r.Ingest {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("ingest[%s x%d]", run.Dataset, run.Ranks),
+			fmt.Sprintf("%.0f rec", float64(run.Records)),
+			fmt.Sprintf("%.1f", run.MBPerSec),
+			fmt.Sprintf("%.2fs wall", run.WallSeconds),
+			"-",
+		})
+	}
+	return t
+}

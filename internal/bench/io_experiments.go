@@ -38,7 +38,7 @@ func Table3(cfg Config) (*Table, error) {
 		var records int64
 		err = mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
 			mf := mpiio.Open(c, f, mpiio.Hints{})
-			_, stats, err := core.ReadPartition(c, mf, core.WKTParser{}, core.ReadOptions{
+			_, stats, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
 				// Sequential pass in 1 GB (virtual) slices: ROMIO caps any
 				// single operation at 2 GB.
 				BlockSize: realBytes(1e9, scale),

@@ -33,7 +33,7 @@ func ioParseTime(cc *cluster.Config, f *pfs.File, level core.AccessLevel) (float
 	var once sync.Once
 	err := mpi.Run(cc, func(c *mpi.Comm) error {
 		mf := mpiio.Open(c, f, mpiio.Hints{})
-		_, _, err := core.ReadPartition(c, mf, core.WKTParser{}, core.ReadOptions{
+		_, _, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
 			Level: level,
 			// 256 MB virtual blocks: iterative reads under the ROMIO limit.
 			BlockSize: realBytes(256e6, f.Scale()),
@@ -234,7 +234,7 @@ func timedJoin(procs int, specR, specS datagen.Spec, scale float64, cells, windo
 		// Independent contiguous reads (the paper's own conclusion: Level 0
 		// beats collectives for this pattern, §5.1.1) with fine-grained
 		// blocks — the paper notes spatial join wants fine decomposition.
-		res, err := spatial.JoinFiles(c, mfR, mfS, core.WKTParser{},
+		res, err := spatial.JoinFiles(c, mfR, mfS, core.NewWKTParser(),
 			core.ReadOptions{Level: core.Level0, BlockSize: realBytes(16e6, scale)},
 			spatial.JoinOptions{GridCells: cells, WindowCells: window})
 		if err != nil {
@@ -377,7 +377,7 @@ func Fig20(cfg Config) (*Table, error) {
 		err := mpi.Run(cc, func(c *mpi.Comm) error {
 			mf := mpiio.Open(c, f, mpiio.Hints{})
 			t0 := c.Now()
-			local, _, err := core.ReadPartition(c, mf, core.WKTParser{}, core.ReadOptions{
+			local, _, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
 				Level: core.Level0, BlockSize: realBytes(256e6, scale),
 			})
 			if err != nil {

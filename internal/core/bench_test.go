@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+)
+
+var benchRecord = []byte("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))\tosm_id=42\n")
+
+// BenchmarkWKTParserPooled exercises the zero-value WKTParser, which draws
+// pooled scanners from the wkt package per record.
+func BenchmarkWKTParserPooled(b *testing.B) {
+	p := WKTParser{}
+	b.SetBytes(int64(len(benchRecord)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(benchRecord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWKTParserDedicated exercises NewWKTParser — the per-rank hot
+// path configuration with a private coordinate arena and no pool traffic.
+func BenchmarkWKTParserDedicated(b *testing.B) {
+	p := NewWKTParser()
+	b.SetBytes(int64(len(benchRecord)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(benchRecord); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

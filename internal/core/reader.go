@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/arena"
 	"repro/internal/costmodel"
 	"repro/internal/geom"
 	"repro/internal/mpi"
@@ -99,21 +100,99 @@ func ReadPartition(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions) ([]geo
 	return readMessage(c, f, p, opt, blockSize)
 }
 
-// readBlock issues the per-iteration read at the configured access level.
-// Inactive ranks pass length 0 and still participate in collectives.
-func readBlock(c *mpi.Comm, f *mpiio.File, level AccessLevel, off, length int64) ([]byte, error) {
-	buf := make([]byte, length)
+// readArena holds one rank's reusable buffers for ReadPartition. Every
+// per-iteration allocation of the read → exchange → parse loop draws from
+// it, so steady-state iterations allocate nothing: blocks are read into a
+// recycled buffer, ring fragments are framed and received in scratch
+// space, and record assembly and the rank-0 carry reuse grown-once
+// buffers. An arena belongs to a single rank (goroutine).
+type readArena struct {
+	block []byte // readBlock destination
+	frame []byte // outbound fragment framing (flag byte + payload)
+	recv  []byte // inbound fragment scratch (flag byte + payload)
+
+	// Inbound fragment accumulation for the current iteration: payloads
+	// are appended to frags back to back, ends[j] marking where payload j
+	// stops. Fragments arrive in reverse file order, so consumers walk
+	// ends backwards.
+	frags []byte
+	ends  []int
+
+	rec []byte // prefix + body record assembly
+
+	// carry double-buffers rank 0's cross-iteration prefix: the live
+	// buffer is consumed while the next iteration's carry builds in the
+	// other, then the roles swap.
+	carry [2][]byte
+	cur   int
+}
+
+// readBlock issues the per-iteration read at the configured access level
+// into the arena's recycled block buffer. Inactive ranks pass length 0 and
+// still participate in collectives. The returned slice is valid until the
+// next readBlock call.
+func (ar *readArena) readBlock(c *mpi.Comm, f *mpiio.File, level AccessLevel, off, length int64) ([]byte, error) {
+	ar.block = arena.GrowBuf(ar.block, int(length))
 	var n int
 	var err error
 	if level == Level1 {
-		n, err = f.ReadAtAll(buf, off)
+		n, err = f.ReadAtAll(ar.block, off)
 	} else {
-		n, err = f.ReadAtSync(buf, off)
+		n, err = f.ReadAtSync(ar.block, off)
 	}
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	return buf[:n], nil
+	return ar.block[:n], nil
+}
+
+// liveCarry returns the carry accumulated for the current iteration.
+func (ar *readArena) liveCarry() []byte { return ar.carry[ar.cur] }
+
+// stashCarry replaces the inactive carry buffer with the concatenation of
+// parts; swapCarry makes it live.
+func (ar *readArena) stashCarry(parts ...[]byte) {
+	buf := ar.carry[1-ar.cur][:0]
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	ar.carry[1-ar.cur] = buf
+}
+
+// stashCarryFromFrags replaces the inactive carry buffer with the
+// accumulated inbound fragments in file order — rank 0's next-iteration
+// prefix. Kept as one method so the "only the inactive buffer is written"
+// invariant of the double buffer lives in the arena, not the caller.
+func (ar *readArena) stashCarryFromFrags() {
+	ar.carry[1-ar.cur] = ar.appendFragsReversed(ar.carry[1-ar.cur][:0])
+}
+
+func (ar *readArena) swapCarry() { ar.cur = 1 - ar.cur }
+
+// resetFrags clears the per-iteration fragment accumulator.
+func (ar *readArena) resetFrags() {
+	ar.frags = ar.frags[:0]
+	ar.ends = ar.ends[:0]
+}
+
+// pushFrag copies one inbound payload into the fragment accumulator (the
+// receive scratch it arrived in is recycled by the next receive).
+func (ar *readArena) pushFrag(payload []byte) {
+	ar.frags = append(ar.frags, payload...)
+	ar.ends = append(ar.ends, len(ar.frags))
+}
+
+// appendFragsReversed appends the accumulated fragments in file order —
+// later-arriving fragments lie earlier in the file — and returns dst.
+func (ar *readArena) appendFragsReversed(dst []byte) []byte {
+	for j := len(ar.ends) - 1; j >= 0; j-- {
+		lo := 0
+		if j > 0 {
+			lo = ar.ends[j-1]
+		}
+		dst = append(dst, ar.frags[lo:ar.ends[j]]...)
+	}
+	return dst
 }
 
 // readMessage implements Algorithm 1: iterative aligned block reads with a
@@ -133,7 +212,7 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
-	var carry []byte // rank 0 only: fragments from rank n-1, head of the next iteration
+	ar := &readArena{}
 
 	for i := 0; i < iterations; i++ {
 		globalOffset := int64(i) * chunk
@@ -147,7 +226,7 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 		isTerminal := i == iterations-1 && rank == active-1
 
 		t0 := c.Now()
-		block, err := readBlock(c, f, opt.Level, start, length)
+		block, err := ar.readBlock(c, f, opt.Level, start, length)
 		if err != nil {
 			return nil, pc.stats, fmt.Errorf("core: iteration %d read: %w", i, err)
 		}
@@ -161,6 +240,7 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 		var body, ownMsg []byte
 		ownFinal := true
 		passThrough := false
+		carryChain := false // rank 0: the carried prefix flows onward with the block
 		switch {
 		case isTerminal:
 			body = block // EOF terminates the final record
@@ -171,11 +251,10 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 			if ld := bytes.LastIndexByte(block, opt.Delimiter); ld >= 0 {
 				body, ownMsg = block[:ld+1], block[ld+1:]
 			} else if rank == 0 {
-				// The whole block continues the record begun in carry; both
-				// flow onward. The carry is a complete prefix (its left edge
-				// is a true record start), so the chain closes here.
-				ownMsg = append(append([]byte{}, carry...), block...)
-				carry = nil
+				// The whole block continues the record begun in the carry;
+				// both flow onward. The carry is a complete prefix (its left
+				// edge is a true record start), so the chain closes here.
+				carryChain = true
 			} else {
 				passThrough = true
 				ownMsg = block
@@ -183,17 +262,32 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 			}
 		}
 
+		// prefix is the inbound bytes preceding body in the file; it stays
+		// valid through this iteration's parse (it aliases the inactive
+		// carry buffer or the fragment accumulator, which the next
+		// iteration is free to recycle).
 		var prefix []byte
+		stitched := false // prefix needs reverse-order stitching from ar.frags
 		if n == 1 {
 			// Single rank: the tail simply carries into the next iteration.
-			prefix, carry = carry, append([]byte{}, ownMsg...)
+			prefix = ar.liveCarry()
+			if carryChain {
+				ar.stashCarry(prefix, block)
+				prefix = nil
+			} else {
+				ar.stashCarry(ownMsg)
+			}
+			ar.swapCarry()
 		} else {
 			t1 := c.Now()
-			var newCarry []byte
+			ar.resetFrags()
 			sentOwn := false
 			sendOwn := func() error {
 				sentOwn = true
-				return sendFragment(c, next, ownMsg, ownFinal)
+				if carryChain {
+					return ar.sendFragment(c, next, true, ar.liveCarry(), block)
+				}
+				return ar.sendFragment(c, next, ownFinal, ownMsg)
 			}
 			// Even ranks send before receiving, odd ranks after their first
 			// receive — the paper's deadlock-avoiding split under blocking
@@ -204,7 +298,7 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 				}
 			}
 			for {
-				payload, final, err := recvFragment(c, prev)
+				payload, final, err := ar.recvFragment(c, prev)
 				if err != nil {
 					return nil, pc.stats, fmt.Errorf("core: fragment recv: %w", err)
 				}
@@ -213,18 +307,17 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 						return nil, pc.stats, fmt.Errorf("core: fragment send: %w", err)
 					}
 				}
-				// Later fragments lie earlier in the file: prepend.
 				switch {
 				case rank == 0:
 					// Fragments from rank n-1 belong to the head of rank 0's
 					// block in the NEXT iteration.
-					newCarry = append(payload, newCarry...)
+					ar.pushFrag(payload)
 				case passThrough:
-					if err := sendFragment(c, next, payload, final); err != nil {
+					if err := ar.sendFragment(c, next, final, payload); err != nil {
 						return nil, pc.stats, fmt.Errorf("core: fragment relay: %w", err)
 					}
 				default:
-					prefix = append(payload, prefix...)
+					ar.pushFrag(payload)
 				}
 				if final {
 					break
@@ -232,54 +325,85 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 			}
 			pc.stats.CommTime += c.Now() - t1
 			if rank == 0 {
-				prefix, carry = carry, newCarry
+				if !carryChain {
+					prefix = ar.liveCarry()
+				}
+				ar.stashCarryFromFrags() // next iteration's carry
+				ar.swapCarry()
+			} else if len(ar.frags) > 0 {
+				stitched = true
 			}
 		}
 
-		if len(prefix) > 0 || len(body) > 0 {
-			full := prefix
+		// Assemble and parse this iteration's records, copying only when a
+		// record genuinely spans buffers.
+		switch {
+		case stitched:
+			ar.rec = ar.appendFragsReversed(ar.rec[:0])
+			ar.rec = append(ar.rec, body...)
+			pc.records(ar.rec)
+		case len(prefix) == 0:
 			if len(body) > 0 {
-				full = append(append([]byte{}, prefix...), body...)
+				pc.records(body)
 			}
-			pc.records(full)
+		default:
+			// prefix non-empty implies body non-empty today (an active rank
+			// always contributes block bytes), but the concat stays correct
+			// either way.
+			ar.rec = append(ar.rec[:0], prefix...)
+			ar.rec = append(ar.rec, body...)
+			pc.records(ar.rec)
 		}
 	}
 	// Anything still carried at EOF is a final unterminated record.
-	if len(carry) > 0 {
+	if carry := ar.liveCarry(); len(carry) > 0 {
 		pc.records(carry)
 	}
 	return pc.finish()
 }
 
-// sendFragment frames payload with a final/more flag byte and sends it on
-// the ring.
-func sendFragment(c *mpi.Comm, dst int, payload []byte, final bool) error {
+// sendFragment frames the concatenation of parts with a final/more flag
+// byte in the arena's framing scratch and sends it on the ring. The scratch
+// is reusable as soon as Send returns (eager sends copy, rendezvous sends
+// block until the receiver has copied). With no parts — the common case of
+// a rank whose block ends exactly on a delimiter — the message is the bare
+// flag byte and nothing is copied.
+func (ar *readArena) sendFragment(c *mpi.Comm, dst int, final bool, parts ...[]byte) error {
+	total := 1
+	for _, part := range parts {
+		total += len(part)
+	}
+	ar.frame = arena.GrowBuf(ar.frame, total)
 	flag := fragMore
 	if final {
 		flag = fragFinal
 	}
-	buf := make([]byte, 1+len(payload))
-	buf[0] = flag
-	copy(buf[1:], payload)
-	return c.Send(buf, dst, tagFragment)
+	ar.frame[0] = flag
+	off := 1
+	for _, part := range parts {
+		off += copy(ar.frame[off:], part)
+	}
+	return c.Send(ar.frame, dst, tagFragment)
 }
 
 // recvFragment sizes the incoming fragment with Probe + Get_count — the
 // alternative the paper describes to preallocating the 11 MB worst-case
-// buffer (§4.1) — and strips the framing flag.
-func recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
+// buffer (§4.1) — receives it into the arena's recycled scratch, and strips
+// the framing flag. The returned payload is valid until the next
+// recvFragment call; callers that keep it must copy (pushFrag).
+func (ar *readArena) recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
 	st, err := c.Probe(src, tagFragment)
 	if err != nil {
 		return nil, false, err
 	}
-	buf := make([]byte, st.Count)
-	if _, err := c.Recv(buf, src, tagFragment); err != nil {
+	ar.recv = arena.GrowBuf(ar.recv, st.Count)
+	if _, err := c.Recv(ar.recv, src, tagFragment); err != nil {
 		return nil, false, err
 	}
-	if len(buf) == 0 {
+	if len(ar.recv) == 0 {
 		return nil, false, fmt.Errorf("core: fragment missing framing byte")
 	}
-	return buf[1:], buf[0] == fragFinal, nil
+	return ar.recv[1:], ar.recv[0] == fragFinal, nil
 }
 
 // readOverlap implements the halo strategy: every block read is extended by
@@ -293,6 +417,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 	chunk := n * blockSize
 	iterations := int((fileSize + chunk - 1) / chunk)
 	pc.stats.Iterations = iterations
+	ar := &readArena{}
 
 	for i := 0; i < iterations; i++ {
 		globalOffset := int64(i) * chunk
@@ -311,7 +436,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 		}
 
 		t0 := c.Now()
-		block, err := readBlock(c, f, opt.Level, extStart, extLen)
+		block, err := ar.readBlock(c, f, opt.Level, extStart, extLen)
 		if err != nil {
 			return nil, pc.stats, fmt.Errorf("core: overlap iteration %d read: %w", i, err)
 		}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestWKTParserReuseNoAliasing is the core-level contract check: a
+// dedicated (arena-owning) WKTParser reused across records must hand out
+// geometries whose coordinates survive later parses untouched.
+func TestWKTParserReuseNoAliasing(t *testing.T) {
+	p := NewWKTParser()
+	g1, err := p.Parse([]byte("POLYGON ((30 10, 40 40, 20 40, 30 10))\tattr1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := p.Parse([]byte("LINESTRING (5 6, 7 8)\tattr2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell := g1.(*geom.Polygon).Shell
+	want := []geom.Point{{X: 30, Y: 10}, {X: 40, Y: 40}, {X: 20, Y: 40}, {X: 30, Y: 10}}
+	for i, pt := range want {
+		if shell[i] != pt {
+			t.Errorf("polygon shell[%d] = %+v, want %+v", i, shell[i], pt)
+		}
+	}
+	pts := g2.(*geom.LineString).Pts
+	if pts[0] != (geom.Point{X: 5, Y: 6}) || pts[1] != (geom.Point{X: 7, Y: 8}) {
+		t.Errorf("linestring mutated: %+v", pts)
+	}
+}
+
+// TestWKTParserZeroValue keeps the zero-value (pooled) configuration
+// working: it must parse and skip attribute payloads exactly like the
+// dedicated one.
+func TestWKTParserZeroValue(t *testing.T) {
+	var p WKTParser
+	g, err := p.Parse([]byte("  POINT (1 2)\tname=x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != (geom.Point{X: 1, Y: 2}) {
+		t.Errorf("got %+v", g)
+	}
+	if g, err := p.Parse([]byte("   \n")); err != nil || g != nil {
+		t.Errorf("blank record: got %v, %v; want nil, nil", g, err)
+	}
+}

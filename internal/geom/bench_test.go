@@ -1,0 +1,54 @@
+package geom
+
+import "testing"
+
+// benchLine is a 64-vertex line string, the scale at which per-call
+// envelope rescans start to dominate the filter phase.
+func benchLine() *LineString {
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{X: float64(i % 13), Y: float64(i % 7)}
+	}
+	return &LineString{Pts: pts}
+}
+
+// BenchmarkEnvelopeCached measures repeated Envelope() calls on one
+// geometry — the grid-partitioning / join-filter access pattern. With the
+// memoized MBR this is O(1) and allocation-free after the first call.
+func BenchmarkEnvelopeCached(b *testing.B) {
+	l := benchLine()
+	l.Envelope() // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Envelope().IsEmpty() {
+			b.Fatal("unexpected empty envelope")
+		}
+	}
+}
+
+// BenchmarkEnvelopeScan is the uncached baseline: a full vertex rescan per
+// call, what Envelope() cost before the cache.
+func BenchmarkEnvelopeScan(b *testing.B) {
+	l := benchLine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if envelopeOf(l.Pts).IsEmpty() {
+			b.Fatal("unexpected empty envelope")
+		}
+	}
+}
+
+// BenchmarkEnvelopeFirstCall includes the one-time cache fill.
+func BenchmarkEnvelopeFirstCall(b *testing.B) {
+	l := benchLine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.cache = envCache{}
+		if l.Envelope().IsEmpty() {
+			b.Fatal("unexpected empty envelope")
+		}
+	}
+}

@@ -4,6 +4,17 @@
 // line strings, polygons and their Multi* collections), envelope (MBR)
 // algebra, and the intersection predicates needed by the filter-and-refine
 // framework.
+//
+// Geometries are treated as immutable once built: the vertex-bearing types
+// memoize their envelope on first Envelope() call (grid partitioning and
+// the join filter phase ask for the MBR of every geometry, often more than
+// once — without the cache each ask rescans every vertex). Two caveats
+// follow. Mutating Pts, Shell, Holes, Lines or Polys after Envelope() has
+// been called leaves a stale cache. And because the first Envelope() call
+// writes the cache, it is not safe to make that first call concurrently
+// from multiple goroutines — a geometry shared across goroutines should
+// have Envelope() called once before it is shared (in this library every
+// geometry is owned by a single rank, so this never arises internally).
 package geom
 
 import (
@@ -71,16 +82,37 @@ func (p Point) Envelope() Envelope { return Envelope{p.X, p.Y, p.X, p.Y} }
 // NumPoints implements Geometry.
 func (p Point) NumPoints() int { return 1 }
 
+// envCache memoizes a geometry's minimum bounding rectangle. The zero
+// value means "not computed yet", so struct-literal construction keeps
+// working and two geometries with equal vertices stay deeply equal until
+// one of them is asked for its envelope.
+type envCache struct {
+	env Envelope
+	ok  bool
+}
+
+// get returns the cached envelope, computing it with f on first use.
+func (c *envCache) get(f func() Envelope) Envelope {
+	if !c.ok {
+		c.env, c.ok = f(), true
+	}
+	return c.env
+}
+
 // LineString is an ordered sequence of at least two vertices.
 type LineString struct {
 	Pts []Point
+
+	cache envCache
 }
 
 // GeomType implements Geometry.
 func (l *LineString) GeomType() Type { return TypeLineString }
 
-// Envelope implements Geometry.
-func (l *LineString) Envelope() Envelope { return envelopeOf(l.Pts) }
+// Envelope implements Geometry. The MBR is computed once and cached.
+func (l *LineString) Envelope() Envelope {
+	return l.cache.get(func() Envelope { return envelopeOf(l.Pts) })
+}
 
 // NumPoints implements Geometry.
 func (l *LineString) NumPoints() int { return len(l.Pts) }
@@ -99,13 +131,18 @@ func (l *LineString) Length() float64 {
 type Polygon struct {
 	Shell []Point
 	Holes [][]Point
+
+	cache envCache
 }
 
 // GeomType implements Geometry.
 func (p *Polygon) GeomType() Type { return TypePolygon }
 
 // Envelope implements Geometry (holes lie inside the shell by definition).
-func (p *Polygon) Envelope() Envelope { return envelopeOf(p.Shell) }
+// The MBR is computed once and cached.
+func (p *Polygon) Envelope() Envelope {
+	return p.cache.get(func() Envelope { return envelopeOf(p.Shell) })
+}
 
 // NumPoints implements Geometry.
 func (p *Polygon) NumPoints() int {
@@ -137,13 +174,17 @@ func ringArea(ring []Point) float64 {
 // MultiPoint is a collection of points.
 type MultiPoint struct {
 	Pts []Point
+
+	cache envCache
 }
 
 // GeomType implements Geometry.
 func (m *MultiPoint) GeomType() Type { return TypeMultiPoint }
 
-// Envelope implements Geometry.
-func (m *MultiPoint) Envelope() Envelope { return envelopeOf(m.Pts) }
+// Envelope implements Geometry. The MBR is computed once and cached.
+func (m *MultiPoint) Envelope() Envelope {
+	return m.cache.get(func() Envelope { return envelopeOf(m.Pts) })
+}
 
 // NumPoints implements Geometry.
 func (m *MultiPoint) NumPoints() int { return len(m.Pts) }
@@ -151,18 +192,23 @@ func (m *MultiPoint) NumPoints() int { return len(m.Pts) }
 // MultiLineString is a collection of line strings.
 type MultiLineString struct {
 	Lines []LineString
+
+	cache envCache
 }
 
 // GeomType implements Geometry.
 func (m *MultiLineString) GeomType() Type { return TypeMultiLineString }
 
-// Envelope implements Geometry.
+// Envelope implements Geometry. The MBR is computed once and cached (the
+// member line strings cache theirs too).
 func (m *MultiLineString) Envelope() Envelope {
-	e := EmptyEnvelope()
-	for i := range m.Lines {
-		e = e.Union(m.Lines[i].Envelope())
-	}
-	return e
+	return m.cache.get(func() Envelope {
+		e := EmptyEnvelope()
+		for i := range m.Lines {
+			e = e.Union(m.Lines[i].Envelope())
+		}
+		return e
+	})
 }
 
 // NumPoints implements Geometry.
@@ -177,18 +223,23 @@ func (m *MultiLineString) NumPoints() int {
 // MultiPolygon is a collection of polygons.
 type MultiPolygon struct {
 	Polys []Polygon
+
+	cache envCache
 }
 
 // GeomType implements Geometry.
 func (m *MultiPolygon) GeomType() Type { return TypeMultiPolygon }
 
-// Envelope implements Geometry.
+// Envelope implements Geometry. The MBR is computed once and cached (the
+// member polygons cache theirs too).
 func (m *MultiPolygon) Envelope() Envelope {
-	e := EmptyEnvelope()
-	for i := range m.Polys {
-		e = e.Union(m.Polys[i].Envelope())
-	}
-	return e
+	return m.cache.get(func() Envelope {
+		e := EmptyEnvelope()
+		for i := range m.Polys {
+			e = e.Union(m.Polys[i].Envelope())
+		}
+		return e
+	})
 }
 
 // NumPoints implements Geometry.

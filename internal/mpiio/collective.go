@@ -239,13 +239,14 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 	myAgg := plan.aggIndex(rank)
 	nRanks := f.comm.Size()
 	for c := 0; c < plan.cycles; c++ {
-		// Phase 1: aggregators read their cycle slice.
+		// Phase 1: aggregators read their cycle slice into the handle's
+		// recycled staging buffer.
 		var slice span
 		var data []byte
 		if myAgg >= 0 {
 			slice = plan.cycleSlice(myAgg, c)
 			if slice.length > 0 {
-				data = make([]byte, slice.length)
+				data = f.growAggBuf(int(slice.length))
 				if _, rerr := f.pf.ReadAt(data, slice.off); rerr != nil && rerr != io.EOF {
 					return 0, rerr
 				}
@@ -254,8 +255,10 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 		}
 		// Phase 2: redistribute. Send blocks: piece of my slice overlapping
 		// each rank's request. Recv sizes: overlap of my request with each
-		// aggregator's cycle slice.
-		send := make([][]byte, nRanks)
+		// aggregator's cycle slice. Both index vectors come from the
+		// handle's scratch (Alltoallv copies payloads before returning, so
+		// reusing data and send across cycles is safe).
+		send, recvSizes := f.scratch(nRanks)
 		for r := 0; r < nRanks && myAgg >= 0 && slice.length > 0; r++ {
 			ov := slice.overlap(plan.reqs[r])
 			if ov.length > 0 {
@@ -263,7 +266,6 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 				send[r] = data[start : start+ov.length]
 			}
 		}
-		recvSizes := make([]int, nRanks)
 		for k, ar := range plan.aggRanks {
 			ov := plan.cycleSlice(k, c).overlap(plan.reqs[rank])
 			recvSizes[ar] += int(ov.length)

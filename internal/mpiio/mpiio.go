@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/arena"
 	"repro/internal/mpi"
 	"repro/internal/pfs"
 )
@@ -55,6 +56,34 @@ type File struct {
 	pf   *pfs.File
 	hint Hints
 	view *view
+
+	// Collective-read scratch, reused across buffering cycles and calls. A
+	// File handle is held by a single rank (each rank opens its own), so no
+	// synchronization is needed.
+	aggBuf    []byte   // aggregator phase-1 staging buffer
+	sendParts [][]byte // per-rank redistribution slices
+	recvSizes []int    // per-rank expected receive sizes
+}
+
+// scratch returns the collective exchange scratch sized for n ranks, wiped.
+func (f *File) scratch(n int) ([][]byte, []int) {
+	if cap(f.sendParts) < n {
+		f.sendParts = make([][]byte, n)
+		f.recvSizes = make([]int, n)
+	}
+	f.sendParts, f.recvSizes = f.sendParts[:n], f.recvSizes[:n]
+	for i := range f.sendParts {
+		f.sendParts[i] = nil
+		f.recvSizes[i] = 0
+	}
+	return f.sendParts, f.recvSizes
+}
+
+// growAggBuf returns the phase-1 staging buffer resized to n bytes,
+// recycled under the shared arena grow-or-reuse policy.
+func (f *File) growAggBuf(n int) []byte {
+	f.aggBuf = arena.GrowBuf(f.aggBuf, n)
+	return f.aggBuf
 }
 
 // Open associates a pfs file with a communicator. Collective operations

@@ -1,0 +1,110 @@
+package wkt
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestParseAllocBudget pins the scanner's per-record allocation budget so
+// regressions fail loudly. The budgets are the geometry value itself (its
+// interface box, plus ring-header slices for polygons) with headroom for
+// the amortized arena slab refill; the seed parser spent 3/7/12 on the same
+// records.
+func TestParseAllocBudget(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     []byte
+		budget float64
+	}{
+		{"point", benchPoint, 2},
+		{"linestring", benchLineString, 3},
+		{"polygon", benchPolygon, 4},
+		{"multipolygon", benchMultiPoly, 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewParser()
+			got := testing.AllocsPerRun(200, func() {
+				if _, err := p.Parse(c.in); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > c.budget {
+				t.Errorf("Parse(%s) = %.2f allocs/op, budget %.0f", c.name, got, c.budget)
+			}
+		})
+	}
+}
+
+// TestPooledParserNoAliasing verifies the arena ownership contract: a
+// reused Parser hands every geometry coordinates that no later parse — not
+// even one that forces a slab migration — can observe or overwrite.
+func TestPooledParserNoAliasing(t *testing.T) {
+	p := NewParser()
+
+	g1, err := p.Parse([]byte("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := p.Parse([]byte("LINESTRING (1 2, 3 4, 5 6)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := g1.(*geom.Polygon)
+	line := g2.(*geom.LineString)
+
+	snapShell := append([]geom.Point(nil), poly.Shell...)
+	snapHole := append([]geom.Point(nil), poly.Holes[0]...)
+	snapLine := append([]geom.Point(nil), line.Pts...)
+
+	// Churn the parser hard enough to exhaust and migrate several slabs.
+	big := []byte("LINESTRING (0 0, 1 1, 2 2, 3 3, 4 4, 5 5, 6 6, 7 7, 8 8, 9 9)")
+	for i := 0; i < 2*slabPoints; i++ {
+		if _, err := p.Parse(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(name string, got, want []geom.Point) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length changed: %d != %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s[%d] mutated: got %+v want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("polygon shell", poly.Shell, snapShell)
+	check("polygon hole", poly.Holes[0], snapHole)
+	check("linestring", line.Pts, snapLine)
+
+	// Appending to an issued ring must reallocate, never write into the
+	// arena behind a later geometry's back.
+	g3, err := p.Parse([]byte("LINESTRING (7 7, 8 8)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := g3.(*geom.LineString)
+	snapAfter := append([]geom.Point(nil), after.Pts...)
+	_ = append(line.Pts, geom.Point{X: 99, Y: 99}) //nolint:staticcheck // append-aliasing probe
+	check("post-append neighbor", after.Pts, snapAfter)
+}
+
+// TestParserErrorRecovery verifies that a malformed record neither poisons
+// the arena nor the positions of a following successful parse.
+func TestParserErrorRecovery(t *testing.T) {
+	p := NewParser()
+	if _, err := p.Parse([]byte("POLYGON ((0 0, 1 0, 1 1")); err == nil {
+		t.Fatal("want error for truncated polygon")
+	}
+	g, err := p.Parse([]byte("POINT (3 4)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != (geom.Point{X: 3, Y: 4}) {
+		t.Errorf("parse after error = %+v", g)
+	}
+}

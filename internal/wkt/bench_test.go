@@ -1,0 +1,31 @@
+package wkt
+
+import (
+	"testing"
+)
+
+// Benchmark fixtures: one record per geometry class, sized like the small
+// end of the paper's OSM extracts (the hot path parses billions of these).
+var (
+	benchPoint      = []byte("POINT (-87.6847 41.8369)")
+	benchLineString = []byte("LINESTRING (30 10, 10 30, 40 40, 20 15, 35 5, 30 10, 12 8, 44 2)")
+	benchPolygon    = []byte("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))")
+	benchMultiPoly  = []byte("MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), ((15 5, 40 10, 10 20, 5 10, 15 5)))")
+)
+
+func benchParse(b *testing.B, in []byte) {
+	b.Helper()
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWKTParsePoint(b *testing.B)      { benchParse(b, benchPoint) }
+func BenchmarkWKTParseLineString(b *testing.B) { benchParse(b, benchLineString) }
+func BenchmarkWKTParsePolygon(b *testing.B)    { benchParse(b, benchPolygon) }
+func BenchmarkWKTParseMultiPoly(b *testing.B)  { benchParse(b, benchMultiPoly) }

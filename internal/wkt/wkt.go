@@ -3,12 +3,23 @@
 // paper's datasets. The parser is a hand-rolled recursive-descent scanner:
 // WKT records in the OSM extracts range from tens of bytes to >10 MB, so it
 // avoids regexp and string splitting and works directly on byte slices.
+//
+// The scanner is allocation-free in steady state: keywords are matched
+// case-insensitively in place, float literals are handed to strconv without
+// a string copy, and coordinates accumulate into a per-Parser slab arena
+// that geometries slice out of. A Parser may be reused across records
+// (geometries returned by earlier calls stay valid — exhausted slabs are
+// abandoned to the garbage collector, never recycled), but a single Parser
+// must not be shared between goroutines. The package-level Parse draws
+// Parsers from a pool and is safe for concurrent use.
 package wkt
 
 import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
+	"unsafe"
 
 	"repro/internal/geom"
 )
@@ -26,9 +37,58 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("wkt: syntax error at byte %d: %s", e.Offset, e.Msg)
 }
 
-// Parse decodes one WKT record into a geometry.
+// parserPool backs the package-level Parse so stateless callers still get
+// arena-amortized parsing.
+var parserPool = sync.Pool{New: func() any { return NewParser() }}
+
+// Parse decodes one WKT record into a geometry. It is safe for concurrent
+// use; hot loops that parse many records from one goroutine should hold a
+// dedicated Parser instead.
 func Parse(data []byte) (geom.Geometry, error) {
-	p := parser{buf: data}
+	p := parserPool.Get().(*Parser)
+	g, err := p.Parse(data)
+	parserPool.Put(p)
+	return g, err
+}
+
+// ParseString is Parse for string inputs.
+func ParseString(s string) (geom.Geometry, error) { return Parse([]byte(s)) }
+
+// slabPoints is the coordinate arena granularity: one allocation per this
+// many vertices in steady state (16 KiB slabs).
+const slabPoints = 1024
+
+// Parser is a reusable WKT scanner. The zero value is ready to use. It
+// owns a coordinate arena, so a Parser is single-goroutine; geometries it
+// returns remain valid for the Parser's whole lifetime and after it is
+// discarded.
+type Parser struct {
+	buf []byte
+	pos int
+
+	// slab is the coordinate arena. Completed point runs are sliced out
+	// with a full slice expression and handed to geometries, so the slab is
+	// never truncated below its used length; when it fills, a fresh slab is
+	// allocated and the old one is left to the geometries referencing it.
+	slab []geom.Point
+	// mark is the start of the in-progress point run within slab.
+	mark int
+}
+
+// NewParser returns a Parser with a pre-allocated coordinate arena.
+func NewParser() *Parser {
+	return &Parser{slab: make([]geom.Point, 0, slabPoints)}
+}
+
+// Parse decodes one WKT record into a geometry.
+func (p *Parser) Parse(data []byte) (geom.Geometry, error) {
+	g, err := p.parse(data)
+	p.buf = nil // don't pin the caller's (possibly huge, recycled) buffer
+	return g, err
+}
+
+func (p *Parser) parse(data []byte) (geom.Geometry, error) {
+	p.buf, p.pos = data, 0
 	p.skipSpace()
 	if p.pos >= len(p.buf) {
 		return nil, ErrEmpty
@@ -44,19 +104,11 @@ func Parse(data []byte) (geom.Geometry, error) {
 	return g, nil
 }
 
-// ParseString is Parse for string inputs.
-func ParseString(s string) (geom.Geometry, error) { return Parse([]byte(s)) }
-
-type parser struct {
-	buf []byte
-	pos int
-}
-
-func (p *parser) errf(format string, args ...any) error {
+func (p *Parser) errf(format string, args ...any) error {
 	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (p *parser) skipSpace() {
+func (p *Parser) skipSpace() {
 	for p.pos < len(p.buf) {
 		switch p.buf[p.pos] {
 		case ' ', '\t', '\r', '\n':
@@ -67,8 +119,9 @@ func (p *parser) skipSpace() {
 	}
 }
 
-// keyword consumes a case-insensitive ASCII identifier.
-func (p *parser) keyword() string {
+// ident consumes an ASCII identifier and returns its raw bytes (no copy,
+// no case normalization — compare with foldEq).
+func (p *Parser) ident() []byte {
 	start := p.pos
 	for p.pos < len(p.buf) {
 		c := p.buf[p.pos]
@@ -78,21 +131,28 @@ func (p *parser) keyword() string {
 			break
 		}
 	}
-	return upper(p.buf[start:p.pos])
+	return p.buf[start:p.pos]
 }
 
-func upper(b []byte) string {
-	out := make([]byte, len(b))
-	for i, c := range b {
+// foldEq reports whether b equals the upper-case keyword kw under ASCII
+// case folding, without allocating.
+func foldEq(b []byte, kw string) bool {
+	if len(b) != len(kw) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
 		if c >= 'a' && c <= 'z' {
 			c -= 'a' - 'A'
 		}
-		out[i] = c
+		if c != kw[i] {
+			return false
+		}
 	}
-	return string(out)
+	return true
 }
 
-func (p *parser) expect(c byte) error {
+func (p *Parser) expect(c byte) error {
 	p.skipSpace()
 	if p.pos >= len(p.buf) || p.buf[p.pos] != c {
 		return p.errf("expected %q", string(c))
@@ -101,7 +161,7 @@ func (p *parser) expect(c byte) error {
 	return nil
 }
 
-func (p *parser) peek() byte {
+func (p *Parser) peek() byte {
 	p.skipSpace()
 	if p.pos >= len(p.buf) {
 		return 0
@@ -109,8 +169,17 @@ func (p *parser) peek() byte {
 	return p.buf[p.pos]
 }
 
+// bstr views a byte slice as a string without copying. Only for handing
+// bytes to functions that do not retain the string (strconv.ParseFloat).
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
 // number parses one floating-point literal.
-func (p *parser) number() (float64, error) {
+func (p *Parser) number() (float64, error) {
 	p.skipSpace()
 	start := p.pos
 	for p.pos < len(p.buf) {
@@ -124,7 +193,7 @@ func (p *parser) number() (float64, error) {
 	if p.pos == start {
 		return 0, p.errf("expected number")
 	}
-	v, err := strconv.ParseFloat(string(p.buf[start:p.pos]), 64)
+	v, err := strconv.ParseFloat(bstr(p.buf[start:p.pos]), 64)
 	if err != nil {
 		p.pos = start
 		return 0, p.errf("bad number %q", string(p.buf[start:p.pos]))
@@ -133,20 +202,54 @@ func (p *parser) number() (float64, error) {
 }
 
 // isEmptyTag consumes the EMPTY keyword if present.
-func (p *parser) isEmptyTag() bool {
+func (p *Parser) isEmptyTag() bool {
 	p.skipSpace()
 	save := p.pos
-	if p.keyword() == "EMPTY" {
+	if foldEq(p.ident(), "EMPTY") {
 		return true
 	}
 	p.pos = save
 	return false
 }
 
-func (p *parser) parseGeometry() (geom.Geometry, error) {
+// beginRun starts a new point run in the arena.
+func (p *Parser) beginRun() { p.mark = len(p.slab) }
+
+// pushPoint appends one vertex to the in-progress run. When the slab is
+// full the run migrates to a fresh slab; completed geometries keep the old
+// backing array, so nothing they reference is ever overwritten.
+func (p *Parser) pushPoint(pt geom.Point) {
+	if len(p.slab) == cap(p.slab) {
+		run := len(p.slab) - p.mark
+		size := slabPoints
+		if size < 2*(run+1) {
+			size = 2 * (run + 1) // one oversized run gets its own slab
+		}
+		ns := make([]geom.Point, run, size)
+		copy(ns, p.slab[p.mark:])
+		p.slab, p.mark = ns, 0
+	}
+	p.slab = append(p.slab, pt)
+}
+
+// takeRun completes the in-progress run and returns it. The full slice
+// expression caps the result so callers appending to it reallocate instead
+// of writing into the arena.
+func (p *Parser) takeRun() []geom.Point {
+	out := p.slab[p.mark:len(p.slab):len(p.slab)]
+	p.mark = len(p.slab)
+	return out
+}
+
+// abandonRun discards the in-progress run, reclaiming its arena space
+// (safe because the run was never handed to a geometry).
+func (p *Parser) abandonRun() { p.slab = p.slab[:p.mark] }
+
+func (p *Parser) parseGeometry() (geom.Geometry, error) {
 	p.skipSpace()
-	switch kw := p.keyword(); kw {
-	case "POINT":
+	kw := p.ident()
+	switch {
+	case foldEq(kw, "POINT"):
 		if p.isEmptyTag() {
 			return nil, p.errf("POINT EMPTY not supported")
 		}
@@ -161,7 +264,7 @@ func (p *parser) parseGeometry() (geom.Geometry, error) {
 			return nil, err
 		}
 		return pt, nil
-	case "LINESTRING":
+	case foldEq(kw, "LINESTRING"):
 		pts, err := p.pointList()
 		if err != nil {
 			return nil, err
@@ -170,19 +273,23 @@ func (p *parser) parseGeometry() (geom.Geometry, error) {
 			return nil, p.errf("LINESTRING needs >= 2 points, got %d", len(pts))
 		}
 		return &geom.LineString{Pts: pts}, nil
-	case "POLYGON":
+	case foldEq(kw, "POLYGON"):
 		rings, err := p.ringList()
 		if err != nil {
 			return nil, err
 		}
-		return polygonFromRings(p, rings)
-	case "MULTIPOINT":
+		poly, err := p.polygonFromRings(rings)
+		if err != nil {
+			return nil, err
+		}
+		return &poly, nil
+	case foldEq(kw, "MULTIPOINT"):
 		pts, err := p.multiPointList()
 		if err != nil {
 			return nil, err
 		}
 		return &geom.MultiPoint{Pts: pts}, nil
-	case "MULTILINESTRING":
+	case foldEq(kw, "MULTILINESTRING"):
 		rings, err := p.ringList()
 		if err != nil {
 			return nil, err
@@ -195,21 +302,21 @@ func (p *parser) parseGeometry() (geom.Geometry, error) {
 			lines[i] = geom.LineString{Pts: r}
 		}
 		return &geom.MultiLineString{Lines: lines}, nil
-	case "MULTIPOLYGON":
+	case foldEq(kw, "MULTIPOLYGON"):
 		if err := p.expect('('); err != nil {
 			return nil, err
 		}
-		var polys []geom.Polygon
+		polys := make([]geom.Polygon, 0, 4)
 		for {
 			rings, err := p.ringList()
 			if err != nil {
 				return nil, err
 			}
-			poly, err := polygonFromRings(p, rings)
+			poly, err := p.polygonFromRings(rings)
 			if err != nil {
 				return nil, err
 			}
-			polys = append(polys, *poly)
+			polys = append(polys, poly)
 			if p.peek() != ',' {
 				break
 			}
@@ -219,34 +326,34 @@ func (p *parser) parseGeometry() (geom.Geometry, error) {
 			return nil, err
 		}
 		return &geom.MultiPolygon{Polys: polys}, nil
-	case "":
+	case len(kw) == 0:
 		return nil, p.errf("expected geometry keyword")
 	default:
-		return nil, p.errf("unsupported geometry type %q", kw)
+		return nil, p.errf("unsupported geometry type %q", string(kw))
 	}
 }
 
-func polygonFromRings(p *parser, rings [][]geom.Point) (*geom.Polygon, error) {
+func (p *Parser) polygonFromRings(rings [][]geom.Point) (geom.Polygon, error) {
 	if len(rings) == 0 {
-		return nil, p.errf("POLYGON needs at least a shell ring")
+		return geom.Polygon{}, p.errf("POLYGON needs at least a shell ring")
 	}
 	for _, r := range rings {
 		if len(r) < 4 {
-			return nil, p.errf("polygon ring needs >= 4 points, got %d", len(r))
+			return geom.Polygon{}, p.errf("polygon ring needs >= 4 points, got %d", len(r))
 		}
 		if r[0] != r[len(r)-1] {
-			return nil, p.errf("polygon ring is not closed")
+			return geom.Polygon{}, p.errf("polygon ring is not closed")
 		}
 	}
 	holes := rings[1:]
 	if len(holes) == 0 {
 		holes = nil
 	}
-	return &geom.Polygon{Shell: rings[0], Holes: holes}, nil
+	return geom.Polygon{Shell: rings[0], Holes: holes}, nil
 }
 
 // point parses "x y".
-func (p *parser) point() (geom.Point, error) {
+func (p *Parser) point() (geom.Point, error) {
 	x, err := p.number()
 	if err != nil {
 		return geom.Point{}, err
@@ -258,35 +365,37 @@ func (p *parser) point() (geom.Point, error) {
 	return geom.Point{X: x, Y: y}, nil
 }
 
-// pointList parses "(x y, x y, ...)".
-func (p *parser) pointList() ([]geom.Point, error) {
+// pointList parses "(x y, x y, ...)" into the arena.
+func (p *Parser) pointList() ([]geom.Point, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
-	var pts []geom.Point
+	p.beginRun()
 	for {
 		pt, err := p.point()
 		if err != nil {
+			p.abandonRun()
 			return nil, err
 		}
-		pts = append(pts, pt)
+		p.pushPoint(pt)
 		if p.peek() != ',' {
 			break
 		}
 		p.pos++
 	}
 	if err := p.expect(')'); err != nil {
+		p.abandonRun()
 		return nil, err
 	}
-	return pts, nil
+	return p.takeRun(), nil
 }
 
 // ringList parses "((...), (...), ...)".
-func (p *parser) ringList() ([][]geom.Point, error) {
+func (p *Parser) ringList() ([][]geom.Point, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
-	var rings [][]geom.Point
+	rings := make([][]geom.Point, 0, 4)
 	for {
 		pts, err := p.pointList()
 		if err != nil {
@@ -305,11 +414,11 @@ func (p *parser) ringList() ([][]geom.Point, error) {
 }
 
 // multiPointList accepts both MULTIPOINT(1 2, 3 4) and MULTIPOINT((1 2),(3 4)).
-func (p *parser) multiPointList() ([]geom.Point, error) {
+func (p *Parser) multiPointList() ([]geom.Point, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
-	var pts []geom.Point
+	p.beginRun()
 	for {
 		var pt geom.Point
 		var err error
@@ -323,16 +432,18 @@ func (p *parser) multiPointList() ([]geom.Point, error) {
 			pt, err = p.point()
 		}
 		if err != nil {
+			p.abandonRun()
 			return nil, err
 		}
-		pts = append(pts, pt)
+		p.pushPoint(pt)
 		if p.peek() != ',' {
 			break
 		}
 		p.pos++
 	}
 	if err := p.expect(')'); err != nil {
+		p.abandonRun()
 		return nil, err
 	}
-	return pts, nil
+	return p.takeRun(), nil
 }

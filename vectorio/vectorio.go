@@ -17,6 +17,31 @@
 //		...
 //	})
 //
+// # Parser pooling and buffer ownership
+//
+// The ingest path is allocation-free in steady state, which imposes two
+// ownership rules. First, the record slice a Parser receives is only valid
+// for the duration of the Parse call: ReadPartition recycles its block,
+// fragment, and assembly buffers between iterations, so a custom Parser
+// that retains record bytes must copy them. Second, WKT parsing draws on a
+// reusable coordinate arena. The zero value WKTParser{} is safe for
+// concurrent use (it borrows pooled scanners); NewWKTParser() returns a
+// parser with a dedicated arena — faster on a hot rank, but it must stay on
+// one goroutine, typically constructed inside the Run callback:
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		p := vectorio.NewWKTParser() // per-rank, not shared
+//		geoms, _, err := vectorio.ReadPartition(c, f, p, vectorio.ReadOptions{})
+//		...
+//	})
+//
+// Either way, the geometries returned remain valid indefinitely: the arena
+// slabs they reference are abandoned to the garbage collector, never
+// recycled. Geometries are treated as immutable after construction — their
+// envelopes are computed once and cached on first Envelope() call. That
+// first call is a write: a geometry handed to multiple goroutines should
+// have Envelope() called once before sharing (see the geom package doc).
+//
 // See the examples/ directory for complete programs: quickstart (parallel
 // read), spatialjoin (the paper's end-to-end exemplar), rangequery
 // (filter-and-refine batch queries) and gridindex (parallel R-tree
@@ -135,6 +160,12 @@ const (
 	MessageBased = core.MessageBased
 	Overlap      = core.Overlap
 )
+
+// NewWKTParser returns a WKTParser with a dedicated reusable coordinate
+// arena — the fast configuration for per-rank ingest loops. It must not be
+// shared between goroutines; see "Parser pooling and buffer ownership" in
+// the package documentation.
+func NewWKTParser() WKTParser { return core.NewWKTParser() }
 
 // ReadPartition reads and partitions a vector file across all ranks: every
 // rank returns the geometries whose records end inside its partitions
