@@ -150,7 +150,19 @@ func dataset(spec datagen.Spec, scale float64, params pfs.Params, stripeCount in
 // datasetWithStats is dataset exposing the generation statistics (record
 // count, real max record size — the halo bound of the overlap strategy).
 func datasetWithStats(spec datagen.Spec, scale float64, params pfs.Params, stripeCount int, virtStripe int64) (*pfs.File, datagen.Stats, error) {
-	key := fmt.Sprintf("%s|%.0f|%s|%d|%d", spec.Name, scale, params.Name, stripeCount, virtStripe)
+	return datasetEncodedWithStats(spec, scale, datagen.EncodingWKT, params, stripeCount, virtStripe)
+}
+
+// datasetEncoded generates (or reuses) a dataset in the given record
+// encoding — the text-vs-binary ingest comparison reads the same spec in
+// both.
+func datasetEncoded(spec datagen.Spec, scale float64, enc datagen.Encoding, params pfs.Params, stripeCount int, virtStripe int64) (*pfs.File, error) {
+	f, _, err := datasetEncodedWithStats(spec, scale, enc, params, stripeCount, virtStripe)
+	return f, err
+}
+
+func datasetEncodedWithStats(spec datagen.Spec, scale float64, enc datagen.Encoding, params pfs.Params, stripeCount int, virtStripe int64) (*pfs.File, datagen.Stats, error) {
+	key := fmt.Sprintf("%s|%.0f|%s|%s|%d|%d", spec.Name, scale, enc, params.Name, stripeCount, virtStripe)
 	if d, ok := datasetCache.Load(key); ok {
 		cd := d.(cachedDataset)
 		return cd.f, cd.stats, nil
@@ -159,7 +171,7 @@ func datasetWithStats(spec datagen.Spec, scale float64, params pfs.Params, strip
 	if err != nil {
 		return nil, datagen.Stats{}, err
 	}
-	f, stats, err := datagen.GenerateFile(spec, scale, fs, spec.Name+".wkt", stripeCount, virtStripe)
+	f, stats, err := datagen.GenerateFileEncoded(spec, scale, enc, fs, spec.Name+enc.Ext(), stripeCount, virtStripe)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -14,6 +14,8 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/pfs"
+	"repro/internal/wkb"
+	"repro/internal/wkt"
 )
 
 // ParserSample is one parser microbenchmark measurement. Unlike the rest of
@@ -28,9 +30,12 @@ type ParserSample struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// IngestRun is one end-to-end ReadPartition measurement.
+// IngestRun is one end-to-end ReadPartition measurement. Format is the
+// record encoding read: "wkt" (delimited text) or "wkb" (length-prefixed
+// binary).
 type IngestRun struct {
 	Dataset       string  `json:"dataset"`
+	Format        string  `json:"format"`
 	Ranks         int     `json:"ranks"`
 	Records       int     `json:"records"`
 	BytesRead     int64   `json:"bytes_read"`
@@ -42,7 +47,8 @@ type IngestRun struct {
 // IngestReport is the BENCH_ingest.json artifact: the perf trajectory
 // baseline for the ingest hot path. SeedParser pins the numbers measured on
 // the seed parser (PR 1, before the zero-allocation rewrite) so later PRs
-// can report progress against a fixed origin.
+// can report progress against a fixed origin. Parser keys suffixed "-wkb"
+// measure the binary decoder on the WKB encoding of the same fixture.
 type IngestReport struct {
 	GeneratedAt string                  `json:"generated_at"`
 	GoVersion   string                  `json:"go_version"`
@@ -76,8 +82,25 @@ var ingestFixtures = []struct {
 	{"multipolygon", []byte("MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), ((15 5, 40 10, 10 20, 5 10, 15 5)))")},
 }
 
-// RunIngestReport measures the current parser and end-to-end ingest path in
-// wall-clock time and returns the trajectory artifact.
+// measure runs one parse benchmark and converts it to a sample.
+func measure(recLen int, loop func(b *testing.B)) ParserSample {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(recLen))
+		b.ReportAllocs()
+		loop(b)
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return ParserSample{
+		NsPerOp:     ns,
+		MBPerSec:    float64(recLen) / ns * 1e3,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// RunIngestReport measures the current parsers (text and binary) and the
+// end-to-end ingest path in wall-clock time and returns the trajectory
+// artifact.
 func RunIngestReport(cfg Config) (*IngestReport, error) {
 	rep := &IngestReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -86,46 +109,61 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 		SeedParser:  seedParserBaseline(),
 	}
 	for _, fx := range ingestFixtures {
+		// Text scanner on the WKT record.
 		p := core.NewWKTParser()
 		rec := fx.rec
-		res := testing.Benchmark(func(b *testing.B) {
-			b.SetBytes(int64(len(rec)))
-			b.ReportAllocs()
+		rep.Parser[fx.key] = measure(len(rec), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Parse(rec); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		ns := float64(res.T.Nanoseconds()) / float64(res.N)
-		rep.Parser[fx.key] = ParserSample{
-			NsPerOp:     ns,
-			MBPerSec:    float64(len(rec)) / ns * 1e3,
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
+
+		// Binary decoder on the WKB encoding of the same geometry.
+		g, err := wkt.Parse(fx.rec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fixture %s: %w", fx.key, err)
 		}
+		payload := wkb.Encode(g)
+		bp := core.NewWKBParser()
+		rep.Parser[fx.key+"-wkb"] = measure(len(payload), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bp.Parse(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 
-	// End-to-end: read + ring-exchange + parse a polygon dataset across a
-	// small local world, wall-clock.
+	// End-to-end: read + boundary repair + parse the same (scaled) polygon
+	// dataset across a small local world, wall-clock, in both encodings.
 	for _, ranks := range []int{1, 4} {
-		run, err := ingestOnce(cfg, ranks)
-		if err != nil {
-			return nil, err
+		for _, enc := range []datagen.Encoding{datagen.EncodingWKT, datagen.EncodingWKB} {
+			run, err := ingestOnce(cfg, ranks, enc)
+			if err != nil {
+				return nil, err
+			}
+			rep.Ingest = append(rep.Ingest, run)
 		}
-		rep.Ingest = append(rep.Ingest, run)
 	}
 	return rep, nil
 }
 
-func ingestOnce(cfg Config, ranks int) (IngestRun, error) {
+func ingestOnce(cfg Config, ranks int, enc datagen.Encoding) (IngestRun, error) {
 	spec := datagen.Lakes()
 	// Lakes at 9 GB full scale; divide down to ~18 MB of real bytes so the
 	// measurement stays sub-second but spans many blocks per rank.
 	scale := cfg.scale(512)
-	f, err := dataset(spec, scale, pfs.RogerGPFS(), 0, 0)
+	f, err := datasetEncoded(spec, scale, enc, pfs.RogerGPFS(), 0, 0)
 	if err != nil {
 		return IngestRun{}, err
+	}
+	opt := core.ReadOptions{BlockSize: realBytes(256<<20, scale)}
+	parser := func() core.Parser { return core.NewWKTParser() }
+	if enc == datagen.EncodingWKB {
+		opt.Framing = core.LengthPrefixed()
+		parser = func() core.Parser { return core.NewWKBParser() }
 	}
 	var (
 		mu        sync.Mutex
@@ -135,9 +173,7 @@ func ingestOnce(cfg Config, ranks int) (IngestRun, error) {
 	start := time.Now()
 	err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
 		mf := mpiio.Open(c, f, mpiio.Hints{})
-		_, stats, err := core.ReadPartition(c, mf, core.NewWKTParser(), core.ReadOptions{
-			BlockSize: realBytes(256<<20, scale),
-		})
+		_, stats, err := core.ReadPartition(c, mf, parser(), opt)
 		if err != nil {
 			return err
 		}
@@ -149,10 +185,11 @@ func ingestOnce(cfg Config, ranks int) (IngestRun, error) {
 	})
 	wall := time.Since(start).Seconds()
 	if err != nil {
-		return IngestRun{}, fmt.Errorf("ingest %d ranks: %w", ranks, err)
+		return IngestRun{}, fmt.Errorf("ingest %s %d ranks: %w", enc, ranks, err)
 	}
 	return IngestRun{
 		Dataset:       spec.Name,
+		Format:        enc.String(),
 		Ranks:         ranks,
 		Records:       records,
 		BytesRead:     bytesRead,
@@ -178,22 +215,30 @@ func (r *IngestReport) IngestTable() *Table {
 		ID:     "bench-ingest",
 		Title:  "Ingest hot path, wall-clock (real time, not virtual)",
 		Header: []string{"Fixture", "ns/op", "MB/s", "allocs/op", "seed allocs/op"},
-		Notes:  "parser rows are per-record microbenchmarks; ingest rows are end-to-end ReadPartition",
+		Notes:  "parser rows are per-record microbenchmarks (-wkb = binary decoder); ingest rows are end-to-end ReadPartition",
 	}
 	for _, fx := range ingestFixtures {
-		cur := r.Parser[fx.key]
-		seed := r.SeedParser[fx.key]
-		t.Rows = append(t.Rows, []string{
-			fx.key,
-			fmt.Sprintf("%.0f", cur.NsPerOp),
-			fmt.Sprintf("%.1f", cur.MBPerSec),
-			fmt.Sprintf("%d", cur.AllocsPerOp),
-			fmt.Sprintf("%d", seed.AllocsPerOp),
-		})
+		for _, key := range []string{fx.key, fx.key + "-wkb"} {
+			cur, ok := r.Parser[key]
+			if !ok {
+				continue
+			}
+			seedCell := "-"
+			if seed, ok := r.SeedParser[key]; ok {
+				seedCell = fmt.Sprintf("%d", seed.AllocsPerOp)
+			}
+			t.Rows = append(t.Rows, []string{
+				key,
+				fmt.Sprintf("%.0f", cur.NsPerOp),
+				fmt.Sprintf("%.1f", cur.MBPerSec),
+				fmt.Sprintf("%d", cur.AllocsPerOp),
+				seedCell,
+			})
+		}
 	}
 	for _, run := range r.Ingest {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("ingest[%s x%d]", run.Dataset, run.Ranks),
+			fmt.Sprintf("ingest[%s/%s x%d]", run.Dataset, run.Format, run.Ranks),
 			fmt.Sprintf("%.0f rec", float64(run.Records)),
 			fmt.Sprintf("%.1f", run.MBPerSec),
 			fmt.Sprintf("%.2fs wall", run.WallSeconds),

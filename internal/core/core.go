@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/wkb"
 	"repro/internal/wkt"
 )
 
@@ -67,6 +68,51 @@ func (w WKTParser) Parse(record []byte) (geom.Geometry, error) {
 		return w.scanner.Parse(record)
 	}
 	return wkt.Parse(record)
+}
+
+// WKBParser parses WKB record payloads — the binary sibling of WKTParser,
+// for files written as length-prefixed WKB records (the LengthPrefixed
+// framing; wkb.AppendFramed is the writer). The framing strips the length
+// header, so the payload handed here is exactly one WKB geometry, decoded
+// with no float scanning at all — which is why the binary path approaches
+// raw I/O bandwidth (paper Figures 12/15).
+//
+// The zero value works and is safe for concurrent use (it draws pooled
+// decoders from the wkb package). NewWKBParser returns a value with a
+// dedicated coordinate arena for per-rank ingest loops; it must stay on one
+// goroutine, and the geometries it returns remain valid after the parser is
+// discarded — the same ownership contract as WKTParser.
+type WKBParser struct {
+	dec *wkb.Parser
+}
+
+// NewWKBParser returns a WKBParser with its own reusable coordinate arena
+// (single-goroutine; see the type comment for the ownership contract).
+func NewWKBParser() WKBParser {
+	return WKBParser{dec: wkb.NewParser()}
+}
+
+// Parse implements Parser. An empty record is malformed — the WKB encoders
+// never write one — and fails like any other truncation rather than being
+// skipped.
+func (w WKBParser) Parse(record []byte) (geom.Geometry, error) {
+	var (
+		g   geom.Geometry
+		n   int
+		err error
+	)
+	if w.dec != nil {
+		g, n, err = w.dec.Decode(record)
+	} else {
+		g, n, err = wkb.Decode(record)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n != len(record) {
+		return nil, fmt.Errorf("wkb: record has %d bytes of trailing garbage after geometry", len(record)-n)
+	}
+	return g, nil
 }
 
 func trimSpace(b []byte) []byte {

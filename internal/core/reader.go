@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,6 +15,11 @@ import (
 
 // tagFragment is the point-to-point tag of Algorithm 1's ring exchange.
 const tagFragment = 77
+
+// tagPhase carries the 8-byte phase token that threads record-boundary
+// information through the ranks when the framing is not self-synchronizing
+// (the overlap strategy's only message).
+const tagPhase = 78
 
 // Fragment-framing flags: a final fragment closes the sender's chain for
 // this iteration; a non-final one announces that more fragments follow
@@ -47,9 +51,16 @@ type ReadOptions struct {
 	Strategy Strategy
 	// MaxGeomSize is the halo length for the Overlap strategy — the upper
 	// bound on one record's size (the paper uses 11 MB, its largest
-	// polygon). Zero defaults to BlockSize.
+	// polygon). For the LengthPrefixed framing it bounds the framed record,
+	// 4-byte length header included. Zero defaults to BlockSize.
 	MaxGeomSize int64
-	// Delimiter separates records; zero defaults to '\n'.
+	// Framing selects how the file divides into records. Nil defaults to
+	// Delimited(Delimiter) — newline-separated text. LengthPrefixed()
+	// selects u32-length-prefixed binary records (WKB payloads parsed by
+	// WKBParser).
+	Framing Framing
+	// Delimiter separates records under the default Delimited framing;
+	// zero defaults to '\n'. Ignored when Framing is set.
 	Delimiter byte
 	// SkipErrors counts malformed records instead of failing.
 	SkipErrors bool
@@ -78,9 +89,20 @@ type ReadStats struct {
 // record is longer than a whole block, the incomplete fragment is relayed
 // through intermediate ranks until it meets its terminating delimiter, so
 // no a-priori bound on geometry size is required.
+//
+// The record framing is pluggable (ReadOptions.Framing): delimited text and
+// length-prefixed binary WKB records are supported under both strategies
+// and both access levels. Because length-prefixed records are not
+// self-synchronizing, their boundary repair threads phase information
+// through the ranks; see readMessageChain and the overlap phase chain for
+// how each strategy does it.
 func ReadPartition(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions) ([]geom.Geometry, ReadStats, error) {
 	if opt.Delimiter == 0 {
 		opt.Delimiter = '\n'
+	}
+	fr := opt.Framing
+	if fr == nil {
+		fr = Delimited(opt.Delimiter)
 	}
 	n := int64(c.Size())
 	fileSize := f.Size()
@@ -95,9 +117,12 @@ func ReadPartition(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions) ([]geo
 		opt.MaxGeomSize = blockSize
 	}
 	if opt.Strategy == Overlap {
-		return readOverlap(c, f, p, opt, blockSize)
+		return readOverlap(c, f, p, opt, fr, blockSize)
 	}
-	return readMessage(c, f, p, opt, blockSize)
+	if fr.selfSync() {
+		return readMessage(c, f, p, opt, fr, blockSize)
+	}
+	return readMessageChain(c, f, p, opt, fr, blockSize)
 }
 
 // readArena holds one rank's reusable buffers for ReadPartition. Every
@@ -195,14 +220,18 @@ func (ar *readArena) appendFragsReversed(dst []byte) []byte {
 	return dst
 }
 
-// readMessage implements Algorithm 1: iterative aligned block reads with a
-// ring exchange of the trailing incomplete record. Even ranks send then
-// receive; odd ranks receive then send, avoiding the rendezvous deadlock
-// (§4.1, Algorithm 1 lines 12-19). Blocks containing no delimiter at all
-// (a record longer than the block) are relayed onward, flagged non-final,
-// until a rank with the record's terminating delimiter assembles it.
-func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := &parseCtx{c: c, p: p, opt: opt, scale: f.PFSFile().Scale()}
+// readMessage implements Algorithm 1 for self-synchronizing framings:
+// iterative aligned block reads with a ring exchange of the trailing
+// incomplete record. Even ranks send then receive; odd ranks receive then
+// send, avoiding the rendezvous deadlock (§4.1, Algorithm 1 lines 12-19).
+// Blocks containing no record boundary at all (a record longer than the
+// block) are relayed onward, flagged non-final, until a rank with the
+// record's terminator assembles it. The concurrent exchange is possible
+// precisely because the framing is self-synchronizing: a rank finds its own
+// trailing fragment without knowing the stream phase at its block's first
+// byte.
+func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
+	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: f.PFSFile().Scale()}
 	n := c.Size()
 	rank := c.Rank()
 	fileSize := f.Size()
@@ -248,8 +277,8 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 			passThrough = true // inactive rank in the last iteration: relay only
 			ownFinal = false
 		default:
-			if ld := bytes.LastIndexByte(block, opt.Delimiter); ld >= 0 {
-				body, ownMsg = block[:ld+1], block[ld+1:]
+			if lb := fr.lastBoundary(block); lb >= 0 {
+				body, ownMsg = block[:lb], block[lb:]
 			} else if rank == 0 {
 				// The whole block continues the record begun in the carry;
 				// both flow onward. The carry is a complete prefix (its left
@@ -341,10 +370,10 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 		case stitched:
 			ar.rec = ar.appendFragsReversed(ar.rec[:0])
 			ar.rec = append(ar.rec, body...)
-			pc.records(ar.rec)
+			pc.records(ar.rec, isTerminal)
 		case len(prefix) == 0:
 			if len(body) > 0 {
-				pc.records(body)
+				pc.records(body, isTerminal)
 			}
 		default:
 			// prefix non-empty implies body non-empty today (an active rank
@@ -352,12 +381,180 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 			// either way.
 			ar.rec = append(ar.rec[:0], prefix...)
 			ar.rec = append(ar.rec, body...)
-			pc.records(ar.rec)
+			pc.records(ar.rec, isTerminal)
 		}
 	}
 	// Anything still carried at EOF is a final unterminated record.
 	if carry := ar.liveCarry(); len(carry) > 0 {
-		pc.records(carry)
+		pc.records(carry, true)
+	}
+	return pc.finish()
+}
+
+// readMessageChain implements the message-based strategy for framings that
+// are not self-synchronizing (length-prefixed binary records). A rank
+// cannot locate even its own trailing fragment until it knows the stream
+// phase at its block's first byte, and only its predecessor can tell it —
+// so Algorithm 1's concurrent ring exchange serializes into a per-iteration
+// chain seeded by rank 0, whose phase is pinned by the carry from the
+// previous iteration. The serial step is cheap: classification is a header
+// hop touching four bytes per record, and each rank forwards its trailing
+// fragment before parsing, so the expensive parse work still overlaps
+// across ranks. I/O keeps Algorithm 1's shape — aligned non-overlapping
+// block reads, collective-safe because every rank enters readBlock at the
+// top of each iteration before any point-to-point traffic.
+//
+// Chain invariant: every rank sends exactly one fragment per iteration to
+// its ring successor (possibly empty, possibly a relay of an oversized
+// record passing through), and rank 0 closes the ring by stashing the
+// world-trailing fragment as its next-iteration carry. The terminal rank
+// owns end-of-file: nothing flows past it, and leftover bytes there are
+// settled by the framing's EOF rule (for binary records, truncation).
+func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
+	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: f.PFSFile().Scale()}
+	n := c.Size()
+	rank := c.Rank()
+	fileSize := f.Size()
+	chunk := int64(n) * blockSize
+	iterations := int((fileSize + chunk - 1) / chunk)
+	pc.stats.Iterations = iterations
+
+	next := (rank + 1) % n
+	prev := (rank - 1 + n) % n
+	ar := &readArena{}
+
+	for i := 0; i < iterations; i++ {
+		globalOffset := int64(i) * chunk
+		start := globalOffset + int64(rank)*blockSize
+		length := min(blockSize, max(fileSize-start, 0))
+		remaining := fileSize - globalOffset
+		active := int((remaining + blockSize - 1) / blockSize)
+		if active > n {
+			active = n
+		}
+		isTerminal := i == iterations-1 && rank == active-1
+
+		t0 := c.Now()
+		block, err := ar.readBlock(c, f, opt.Level, start, length)
+		if err != nil {
+			return nil, pc.stats, fmt.Errorf("core: iteration %d read: %w", i, err)
+		}
+		pc.stats.IOTime += c.Now() - t0
+		pc.stats.BytesRead += int64(len(block))
+
+		// The inbound prefix — the unfinished record reaching into this
+		// block. Rank 0 carries it across iterations; everyone else
+		// receives it from the predecessor (the chain's serializing step).
+		var prefix []byte
+		if rank == 0 {
+			prefix = ar.liveCarry()
+		} else {
+			t1 := c.Now()
+			payload, _, err := ar.recvFragment(c, prev)
+			if err != nil {
+				return nil, pc.stats, fmt.Errorf("core: chain recv: %w", err)
+			}
+			prefix = payload
+			pc.stats.CommTime += c.Now() - t1
+		}
+
+		// Classify prefix+block: assemble the record straddling into this
+		// block, hop the headers of the records wholly inside it, and find
+		// the trailing fragment. A header may itself straddle the boundary
+		// — continuation reassembles it from both sides.
+		var straddle, body, tail []byte
+		relay := false
+		if len(prefix) == 0 {
+			bn := fr.split(block)
+			body, tail = block[:bn], block[bn:]
+		} else if cn, ok := fr.continuation(prefix, block); ok {
+			ar.rec = append(ar.rec[:0], prefix...)
+			ar.rec = append(ar.rec, block[:cn]...)
+			straddle = ar.rec
+			rest := block[cn:]
+			bn := fr.split(rest)
+			body, tail = rest[:bn], rest[bn:]
+		} else {
+			relay = true // prefix+block still inside one record: all of it flows onward
+		}
+
+		// The terminal rank owns EOF: its leftover is settled locally by
+		// the framing's EOF rule instead of flowing onward.
+		var eofLeft []byte
+		if isTerminal {
+			if relay {
+				ar.rec = append(ar.rec[:0], prefix...)
+				ar.rec = append(ar.rec, block...)
+				eofLeft = ar.rec
+				relay = false
+			} else {
+				eofLeft = tail
+			}
+			tail = nil
+		}
+
+		// Forward the trailing fragment before parsing, so the successor's
+		// classification — and with it the whole downstream chain — is
+		// unblocked at memory speed.
+		if n > 1 {
+			t1 := c.Now()
+			var serr error
+			if relay {
+				serr = ar.sendFragment(c, next, true, prefix, block)
+			} else {
+				serr = ar.sendFragment(c, next, true, tail)
+			}
+			if serr != nil {
+				return nil, pc.stats, fmt.Errorf("core: chain send: %w", serr)
+			}
+			pc.stats.CommTime += c.Now() - t1
+		}
+
+		// Parse: the straddler first (it lies earlier in the file), then
+		// the records wholly inside the block, then any EOF leftover.
+		if len(straddle) > 0 {
+			pc.records(straddle, false)
+		}
+		if len(body) > 0 {
+			pc.records(body, false)
+		}
+		if len(eofLeft) > 0 {
+			if payload, emit, err := fr.eofTail(eofLeft); err != nil {
+				pc.fail(err)
+			} else if emit {
+				pc.one(payload)
+			}
+		}
+
+		// Close the ring: the world-trailing fragment becomes rank 0's
+		// prefix for the next iteration.
+		if n == 1 {
+			if relay {
+				ar.stashCarry(prefix, block)
+			} else {
+				ar.stashCarry(tail)
+			}
+			ar.swapCarry()
+		} else if rank == 0 {
+			t1 := c.Now()
+			payload, _, err := ar.recvFragment(c, prev)
+			if err != nil {
+				return nil, pc.stats, fmt.Errorf("core: chain carry recv: %w", err)
+			}
+			pc.stats.CommTime += c.Now() - t1
+			ar.stashCarry(payload)
+			ar.swapCarry()
+		}
+	}
+	// The terminal rank consumes everything up to EOF, so the carry must
+	// drain empty; leftovers mean the file ended inside a record on a
+	// non-terminal rank's watch (defensive — settle by the EOF rule).
+	if carry := ar.liveCarry(); len(carry) > 0 {
+		if payload, emit, err := fr.eofTail(carry); err != nil {
+			pc.fail(err)
+		} else if emit {
+			pc.one(payload)
+		}
 	}
 	return pc.finish()
 }
@@ -408,9 +605,19 @@ func (ar *readArena) recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
 
 // readOverlap implements the halo strategy: every block read is extended by
 // MaxGeomSize bytes so boundary-spanning records are fully visible to the
-// rank that owns their first byte. Redundant I/O, no messages (§4.1).
-func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := &parseCtx{c: c, p: p, opt: opt, scale: f.PFSFile().Scale()}
+// rank that owns their first byte. Redundant I/O, no data messages (§4.1).
+//
+// Under a self-synchronizing framing, a rank locates its first owned record
+// by reading one extra leading byte and scanning for the first boundary.
+// A non-self-synchronizing framing has no in-band way to do that, so the
+// ranks thread an 8-byte phase token — the absolute offset of the first
+// record boundary at or past the partition start — rank to rank (wrapping
+// from the last rank to rank 0 across iterations). The strategy's character
+// is unchanged: the halo still makes every owned record fully visible with
+// zero data bytes exchanged; the token is 8 bytes against MaxGeomSize of
+// redundant read per block.
+func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
+	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: f.PFSFile().Scale()}
 	n := int64(c.Size())
 	rank := int64(c.Rank())
 	fileSize := f.Size()
@@ -418,16 +625,23 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 	iterations := int((fileSize + chunk - 1) / chunk)
 	pc.stats.Iterations = iterations
 	ar := &readArena{}
+	sync := fr.selfSync()
+
+	// Phase token state for non-self-synchronizing framings. Rank 0 of
+	// iteration 0 starts at offset 0, a true record start.
+	token := int64(0)
+	intNext := (c.Rank() + 1) % c.Size()
+	intPrev := (c.Rank() - 1 + c.Size()) % c.Size()
 
 	for i := 0; i < iterations; i++ {
 		globalOffset := int64(i) * chunk
 		start := globalOffset + rank*blockSize
 		length := min(blockSize, max(fileSize-start, 0))
 
-		// Extend by one leading byte (record-start detection) and the
-		// halo.
+		// Extend by the halo; self-synchronizing framings also read one
+		// leading byte for record-start detection.
 		extStart := start
-		if length > 0 && start > 0 {
+		if sync && length > 0 && start > 0 {
 			extStart = start - 1
 		}
 		var extLen int64
@@ -442,46 +656,97 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, blockSiz
 		}
 		pc.stats.IOTime += c.Now() - t0
 		pc.stats.BytesRead += int64(len(block))
-		if length == 0 {
-			continue
+
+		// Receive this iteration's phase token (all ranks participate,
+		// active or not, so the chain stays unbroken in ragged final
+		// iterations).
+		if !sync && c.Size() > 1 && !(i == 0 && rank == 0) {
+			t1 := c.Now()
+			var tok [8]byte
+			if _, err := c.Recv(tok[:], intPrev, tagPhase); err != nil {
+				return nil, pc.stats, fmt.Errorf("core: phase token recv: %w", err)
+			}
+			token = int64(binary.LittleEndian.Uint64(tok[:]))
+			pc.stats.CommTime += c.Now() - t1
 		}
 
 		// Find the first record owned by this rank: one starting in
 		// [start, start+length).
-		pos := int64(0) // index into block of the ownership scan
-		if start > 0 {
-			// block[0] is the byte at start-1: if it is a delimiter, the
-			// record at `start` is ours; otherwise skip the partial record
-			// (our predecessor owns it).
-			if block[0] != opt.Delimiter {
-				rel := bytes.IndexByte(block, opt.Delimiter)
-				if rel < 0 {
-					// The whole extended block is one foreign record.
-					continue
+		pos := int64(-1) // block-relative offset of the ownership scan; -1 = nothing owned
+		if length > 0 {
+			switch {
+			case sync && start == 0:
+				pos = 0
+			case sync:
+				// block[0] is the byte at start-1: the first boundary past
+				// it starts the first record owned here; none means the
+				// whole extended block is one foreign record.
+				if fb := fr.firstBoundary(block); fb >= 0 {
+					pos = int64(fb)
 				}
-				pos = int64(rel) + 1
-			} else {
-				pos = 1
+			default:
+				if token < start {
+					return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: phase token %d behind partition start %d", i, c.Rank(), token, start)
+				}
+				if token < start+length {
+					pos = token - extStart
+				}
 			}
 		}
 		ownedEnd := start - extStart + length // block-relative end of ownership
 
-		for pos < ownedEnd {
-			rel := bytes.IndexByte(block[pos:], opt.Delimiter)
-			var rec []byte
-			if rel < 0 {
-				// No further delimiter: final record closed by EOF, or a
-				// record overflowing the halo.
-				if extStart+int64(len(block)) < fileSize {
-					return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+		// For the token chain, hop the record headers first — four bytes
+		// per record, no payload decoding — so the successor's boundary
+		// (and with it every downstream rank's scan) is unblocked before
+		// the expensive parse work starts, and parses overlap across ranks.
+		if !sync && pos >= 0 && pos < ownedEnd {
+			hop := pos
+			for hop < ownedEnd {
+				_, framed, ok := fr.next(block[hop:])
+				if !ok {
+					if extStart+int64(len(block)) < fileSize {
+						return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+					}
+					hop = int64(len(block)) // file ends inside the record; the parse loop settles it
+					break
 				}
-				rec = block[pos:]
-				pos = int64(len(block))
-			} else {
-				rec = block[pos : pos+int64(rel)]
-				pos += int64(rel) + 1
+				hop += int64(framed)
 			}
-			pc.one(rec)
+			token = extStart + hop
+		}
+
+		// Pass the token on; the last chain cell of the run has no
+		// successor to feed.
+		if !sync && c.Size() > 1 && !(i == iterations-1 && intNext == 0) {
+			t1 := c.Now()
+			var tok [8]byte
+			binary.LittleEndian.PutUint64(tok[:], uint64(token))
+			if err := c.Send(tok[:], intNext, tagPhase); err != nil {
+				return nil, pc.stats, fmt.Errorf("core: phase token send: %w", err)
+			}
+			pc.stats.CommTime += c.Now() - t1
+		}
+
+		if pos >= 0 && pos < ownedEnd {
+			for pos < ownedEnd {
+				payload, framed, ok := fr.next(block[pos:])
+				if !ok {
+					// No complete record here: either the file ends inside
+					// it (settled by the framing's EOF rule) or it
+					// overflows the halo.
+					if extStart+int64(len(block)) < fileSize {
+						return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+					}
+					if payload, emit, err := fr.eofTail(block[pos:]); err != nil {
+						pc.fail(err)
+					} else if emit {
+						pc.one(payload)
+					}
+					break
+				}
+				pc.one(payload)
+				pos += int64(framed)
+			}
 		}
 	}
 	return pc.finish()
@@ -494,41 +759,51 @@ type parseCtx struct {
 	c        *mpi.Comm
 	p        Parser
 	opt      ReadOptions
+	fr       Framing
 	scale    float64
 	geoms    []geom.Geometry
 	stats    ReadStats
 	firstErr error
 }
 
-// records splits a byte run into delimiter-separated records and parses
-// each.
-func (pc *parseCtx) records(data []byte) {
+// records splits a whole-record byte run into framed records and parses
+// each. atEOF marks a run ending at end-of-file, where the framing's EOF
+// rule settles a trailing unterminated record (text framing accepts it,
+// binary framing reports truncation).
+func (pc *parseCtx) records(data []byte, atEOF bool) {
 	for len(data) > 0 {
-		idx := bytes.IndexByte(data, pc.opt.Delimiter)
-		var rec []byte
-		if idx < 0 {
-			rec, data = data, nil
-		} else {
-			rec, data = data[:idx], data[idx+1:]
+		payload, framed, ok := pc.fr.next(data)
+		if !ok {
+			tail, emit, err := pc.fr.eofTail(data)
+			switch {
+			case !atEOF:
+				// Callers hand records() whole-record regions; leftover
+				// away from EOF is a framing invariant breach, not file
+				// truncation.
+				pc.fail(fmt.Errorf("core: internal: %d unframed trailing bytes in record region", len(data)))
+			case err != nil:
+				pc.fail(err)
+			case emit:
+				pc.one(tail)
+			}
+			return
 		}
-		pc.one(rec)
+		pc.one(payload)
+		data = data[framed:]
 	}
 }
 
-// one parses one record, charges the calibrated parse cost for the work
-// actually done, and appends the geometry. Malformed records are counted;
-// the first is remembered unless SkipErrors is set.
+// one parses one record payload, charges the calibrated parse cost for the
+// work actually done, and appends the geometry. Malformed records are
+// counted; the first is remembered unless SkipErrors is set.
 func (pc *parseCtx) one(rec []byte) {
-	if len(trimSpace(rec)) == 0 {
+	if pc.fr.blank(rec) {
 		return
 	}
 	t0 := pc.c.Now()
 	g, err := pc.p.Parse(rec)
 	if err != nil {
-		pc.stats.Errors++
-		if !pc.opt.SkipErrors && pc.firstErr == nil {
-			pc.firstErr = fmt.Errorf("core: parse error in record %q: %w", truncRecord(rec), err)
-		}
+		pc.fail(fmt.Errorf("core: parse error in record %q: %w", truncRecord(rec), err))
 		return
 	}
 	if g == nil {
@@ -538,6 +813,15 @@ func (pc *parseCtx) one(rec []byte) {
 	pc.stats.ParseTime += pc.c.Now() - t0
 	pc.stats.Records++
 	pc.geoms = append(pc.geoms, g)
+}
+
+// fail records a malformed-record or framing error: counted always,
+// remembered (to fail the collective read) unless SkipErrors is set.
+func (pc *parseCtx) fail(err error) {
+	pc.stats.Errors++
+	if !pc.opt.SkipErrors && pc.firstErr == nil {
+		pc.firstErr = err
+	}
 }
 
 // finish settles deferred parse errors collectively: an Allreduce tells

@@ -21,7 +21,38 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/pfs"
+	"repro/internal/wkb"
 )
+
+// Encoding selects the on-disk record format of a generated dataset.
+type Encoding int
+
+const (
+	// EncodingWKT writes newline-delimited WKT text — the paper's primary
+	// dataset format (read with the default Delimited framing).
+	EncodingWKT Encoding = iota
+	// EncodingWKB writes length-prefixed binary WKB records (u32 payload
+	// length + WKB payload, read with the LengthPrefixed framing) — the
+	// paper's binary variant that skips float scanning entirely (§4.1,
+	// Figures 12/15).
+	EncodingWKB
+)
+
+// String names the encoding as the benchmark artifacts do.
+func (e Encoding) String() string {
+	if e == EncodingWKB {
+		return "wkb"
+	}
+	return "wkt"
+}
+
+// Ext returns the conventional file extension for the encoding.
+func (e Encoding) Ext() string {
+	if e == EncodingWKB {
+		return ".wkb"
+	}
+	return ".wkt"
+}
 
 // Spec describes one synthetic dataset in full-scale terms.
 type Spec struct {
@@ -142,6 +173,15 @@ const worldSeed = 7919
 // Generate writes the dataset scaled by 1/scale to out as
 // newline-delimited WKT.
 func Generate(spec Spec, scale float64, out io.Writer) (Stats, error) {
+	return GenerateEncoded(spec, scale, EncodingWKT, out)
+}
+
+// GenerateEncoded writes the dataset scaled by 1/scale to out in the given
+// record encoding. The two encodings consume the random stream identically,
+// so record k of the WKB variant is the same feature as record k of the WKT
+// variant (modulo the 5-decimal rounding WKT applies to coordinates) — what
+// makes the text-vs-binary ingest benchmarks a like-for-like comparison.
+func GenerateEncoded(spec Spec, scale float64, enc Encoding, out io.Writer) (Stats, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -196,6 +236,7 @@ func Generate(spec Spec, scale float64, out io.Writer) (Stats, error) {
 	}
 	maxVerts := int(math.Max(4, (float64(spec.MaxRecordBytes)/scale-20)/22))
 	buf := make([]byte, 0, 4096)
+	var pts []geom.Point
 	for stats.Bytes < targetBytes {
 		buf = buf[:0]
 		center := pick()
@@ -214,19 +255,25 @@ func Generate(spec Spec, scale float64, out io.Writer) (Stats, error) {
 		}
 		switch spec.Shape {
 		case geom.TypePoint:
-			buf = appendPointWKT(buf, center)
+			pts = append(pts[:0], center)
 		case geom.TypeLineString:
 			if verts < 2 {
 				verts = 2
 			}
-			buf = appendLineWKT(buf, r, center, verts)
+			pts = genLineVertices(pts[:0], r, center, verts)
 		default:
 			if verts < 3 {
 				verts = 3
 			}
-			buf = appendPolygonWKT(buf, r, center, verts)
+			pts = genPolygonRing(pts[:0], r, center, verts)
 		}
-		buf = append(buf, '\n')
+		switch enc {
+		case EncodingWKB:
+			buf = appendRecordWKB(buf, spec.Shape, pts)
+		default:
+			buf = appendRecordWKT(buf, spec.Shape, pts)
+			buf = append(buf, '\n')
+		}
 		if _, err := out.Write(buf); err != nil {
 			return stats, fmt.Errorf("datagen: %w", err)
 		}
@@ -239,15 +286,21 @@ func Generate(spec Spec, scale float64, out io.Writer) (Stats, error) {
 	return stats, nil
 }
 
-// GenerateFile generates the dataset into a pfs file and tags it with the
-// scale factor so the timing model reports full-size numbers.
+// GenerateFile generates the dataset into a pfs file as newline-delimited
+// WKT and tags it with the scale factor so the timing model reports
+// full-size numbers.
 func GenerateFile(spec Spec, scale float64, fs *pfs.FS, name string, stripeCount int, stripeSize int64) (*pfs.File, Stats, error) {
+	return GenerateFileEncoded(spec, scale, EncodingWKT, fs, name, stripeCount, stripeSize)
+}
+
+// GenerateFileEncoded is GenerateFile with an explicit record encoding.
+func GenerateFileEncoded(spec Spec, scale float64, enc Encoding, fs *pfs.FS, name string, stripeCount int, stripeSize int64) (*pfs.File, Stats, error) {
 	f, err := fs.Create(name, stripeCount, stripeSize)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	w := &fileWriter{f: f}
-	stats, err := Generate(spec, scale, w)
+	stats, err := GenerateEncoded(spec, scale, enc, w)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -280,50 +333,69 @@ func appendCoord(buf []byte, x, y float64) []byte {
 	return strconv.AppendFloat(buf, y, 'f', 5, 64)
 }
 
-func appendPointWKT(buf []byte, p geom.Point) []byte {
-	buf = append(buf, "POINT ("...)
-	buf = appendCoord(buf, p.X, p.Y)
-	return append(buf, ')')
-}
-
-// appendLineWKT emits a random walk polyline around the center.
-func appendLineWKT(buf []byte, r *rand.Rand, c geom.Point, verts int) []byte {
-	buf = append(buf, "LINESTRING ("...)
+// genLineVertices emits a random walk polyline around the center.
+func genLineVertices(pts []geom.Point, r *rand.Rand, c geom.Point, verts int) []geom.Point {
 	x, y := c.X, c.Y
 	for i := 0; i < verts; i++ {
 		if i > 0 {
-			buf = append(buf, ", "...)
 			x += r.NormFloat64() * 0.01
 			y += r.NormFloat64() * 0.01
 		}
-		buf = appendCoord(buf, x, y)
+		pts = append(pts, geom.Point{X: x, Y: y})
 	}
-	return append(buf, ')')
+	return pts
 }
 
-// appendPolygonWKT emits a star-shaped (hence simple) ring around the
+// genPolygonRing emits a star-shaped (hence simple) closed ring around the
 // center: random radii at sorted angles. The footprint grows with the
 // vertex count — detailed polygons are big features (large lakes), terse
 // ones are small parcels — spanning roughly 1-200 km, the scale of real
 // vector features, dense enough that co-located layers produce join
 // candidates.
-func appendPolygonWKT(buf []byte, r *rand.Rand, c geom.Point, verts int) []byte {
-	buf = append(buf, "POLYGON (("...)
+func genPolygonRing(pts []geom.Point, r *rand.Rand, c geom.Point, verts int) []geom.Point {
 	base := clampTo(0.004*float64(verts), 0.01, 2.0) * (0.5 + r.Float64())
-	var x0, y0 float64
 	for i := 0; i < verts; i++ {
 		angle := 2 * math.Pi * float64(i) / float64(verts)
 		radius := base * (0.5 + r.Float64())
-		x := c.X + radius*math.Cos(angle)
-		y := c.Y + radius*math.Sin(angle)
-		if i == 0 {
-			x0, y0 = x, y
-		} else {
+		pts = append(pts, geom.Point{X: c.X + radius*math.Cos(angle), Y: c.Y + radius*math.Sin(angle)})
+	}
+	return append(pts, pts[0]) // close the ring
+}
+
+// appendRecordWKT renders one record as WKT text (no trailing newline).
+func appendRecordWKT(buf []byte, shape geom.Type, pts []geom.Point) []byte {
+	switch shape {
+	case geom.TypePoint:
+		buf = append(buf, "POINT ("...)
+		buf = appendCoord(buf, pts[0].X, pts[0].Y)
+		return append(buf, ')')
+	case geom.TypeLineString:
+		buf = append(buf, "LINESTRING ("...)
+	default:
+		buf = append(buf, "POLYGON (("...)
+	}
+	for i, p := range pts {
+		if i > 0 {
 			buf = append(buf, ", "...)
 		}
-		buf = appendCoord(buf, x, y)
+		buf = appendCoord(buf, p.X, p.Y)
 	}
-	buf = append(buf, ", "...)
-	buf = appendCoord(buf, x0, y0) // close the ring
+	if shape == geom.TypeLineString {
+		return append(buf, ')')
+	}
 	return append(buf, "))"...)
+}
+
+// appendRecordWKB renders one record as a length-prefixed WKB record. The
+// geometry headers may alias the scratch vertex buffer because the record
+// is serialized before the buffer is reused.
+func appendRecordWKB(buf []byte, shape geom.Type, pts []geom.Point) []byte {
+	switch shape {
+	case geom.TypePoint:
+		return wkb.AppendFramed(buf, pts[0])
+	case geom.TypeLineString:
+		return wkb.AppendFramed(buf, &geom.LineString{Pts: pts})
+	default:
+		return wkb.AppendFramed(buf, &geom.Polygon{Shell: pts})
+	}
 }

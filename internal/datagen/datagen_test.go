@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/pfs"
+	"repro/internal/wkb"
 	"repro/internal/wkt"
 )
 
@@ -206,5 +207,99 @@ func TestPolygonRingsClosed(t *testing.T) {
 		if poly.Shell[0] != poly.Shell[len(poly.Shell)-1] {
 			t.Fatal("open ring emitted")
 		}
+	}
+}
+
+// TestGenerateEncodedWKB: the binary variant must produce a stream of
+// decodable length-prefixed records whose count and byte total match the
+// reported stats, with the same feature sequence as the text variant.
+func TestGenerateEncodedWKB(t *testing.T) {
+	spec := Cemetery()
+	var bin bytes.Buffer
+	stats, err := GenerateEncoded(spec, 512, EncodingWKB, &bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(bin.Len()) != stats.Bytes {
+		t.Errorf("stream holds %d bytes, stats say %d", bin.Len(), stats.Bytes)
+	}
+	// Cluster centers are clamped to the world; a polygon ring can reach a
+	// few degrees past them (max base radius 3 * max radius factor 1.5).
+	world := geom.Envelope{MinX: -185, MinY: -95, MaxX: 185, MaxY: 95}
+	var records int64
+	buf := bin.Bytes()
+	for len(buf) > 0 {
+		g, n, err := wkb.DecodeFramed(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", records, err)
+		}
+		if g.GeomType() != spec.Shape {
+			t.Fatalf("record %d: shape %s, want %s", records, g.GeomType(), spec.Shape)
+		}
+		if env := g.Envelope(); !world.Contains(env) {
+			t.Fatalf("record %d escapes the world: %+v", records, env)
+		}
+		buf = buf[n:]
+		records++
+	}
+	if records != stats.Records {
+		t.Errorf("decoded %d records, stats say %d", records, stats.Records)
+	}
+
+	// Same spec, same scale, text encoding: the random streams march in
+	// lockstep, so the k-th WKB record is the k-th WKT record's feature
+	// (coordinates modulo WKT's 5-decimal rounding). Compare the prefix the
+	// two byte budgets share.
+	var txt bytes.Buffer
+	if _, err := GenerateEncoded(spec, 512, EncodingWKT, &txt); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(txt.String()), "\n")
+	buf = bin.Bytes()
+	for i := 0; i < len(lines) && len(buf) > 0; i++ {
+		bg, n, err := wkb.DecodeFramed(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[n:]
+		tg, err := wkt.ParseString(lines[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bg.NumPoints() != tg.NumPoints() {
+			t.Fatalf("record %d: wkb has %d vertices, wkt has %d", i, bg.NumPoints(), tg.NumPoints())
+		}
+		be, te := bg.Envelope(), tg.Envelope()
+		const tol = 1e-4 // WKT rounds to 5 decimals
+		if abs(be.MinX-te.MinX) > tol || abs(be.MinY-te.MinY) > tol ||
+			abs(be.MaxX-te.MaxX) > tol || abs(be.MaxY-te.MaxY) > tol {
+			t.Fatalf("record %d: envelopes diverge: %+v vs %+v", i, be, te)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestGenerateFileEncodedTagsScale mirrors GenerateFile's contract for the
+// binary variant.
+func TestGenerateFileEncodedTagsScale(t *testing.T) {
+	fs, err := pfs.New(pfs.RogerGPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, stats, err := GenerateFileEncoded(Cemetery(), 1024, EncodingWKB, fs, "cemetery.wkb", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != stats.Bytes {
+		t.Errorf("file size %d, stats %d", f.Size(), stats.Bytes)
+	}
+	if f.Scale() != 1024 {
+		t.Errorf("scale tag = %v, want 1024", f.Scale())
 	}
 }

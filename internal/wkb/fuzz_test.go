@@ -1,0 +1,92 @@
+package wkb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzDecode drives the file-facing decoder with arbitrary bytes. The
+// invariants: it never panics, it never reports success without consuming a
+// sensible byte count, and every decodable input round-trips byte-exactly
+// through Encode (the encoding is canonical: little-endian only, counts
+// derived from content).
+func FuzzDecode(f *testing.F) {
+	seedGeoms := []geom.Geometry{
+		geom.Point{X: 1.5, Y: -2.25},
+		&geom.LineString{Pts: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 0}}},
+		&geom.Polygon{
+			Shell: []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 0}},
+			Holes: [][]geom.Point{{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}, {X: 1, Y: 1}}},
+		},
+		&geom.MultiPoint{Pts: []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}},
+		&geom.MultiLineString{Lines: []geom.LineString{
+			{Pts: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+		}},
+		&geom.MultiPolygon{Polys: []geom.Polygon{
+			{Shell: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 0}}},
+		}},
+	}
+	for _, g := range seedGeoms {
+		enc := Encode(g)
+		f.Add(enc)
+		f.Add(enc[:len(enc)-3]) // truncated payload
+		f.Add(enc[:3])          // truncated header
+	}
+	// Hostile counts: tiny buffers whose headers claim huge element counts.
+	for _, code := range []byte{codePoint, codeLineString, codePolygon, codeMultiPoint, codeMultiLineString, codeMultiPolygon} {
+		hostile := []byte{1, code, 0, 0, 0}
+		hostile = binary.LittleEndian.AppendUint32(hostile, 0xffffffff)
+		f.Add(hostile)
+		almostWrap := []byte{1, code, 0, 0, 0}
+		almostWrap = binary.LittleEndian.AppendUint32(almostWrap, 0x10000001)
+		f.Add(almostWrap)
+	}
+	f.Add([]byte{0, 1, 0, 0, 0})          // big-endian marker
+	f.Add([]byte{1, 99, 0, 0, 0})         // unknown code
+	f.Add([]byte{1, 3, 0, 0, 0, 0, 0, 0, 0}) // polygon with zero rings
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, n, err := Decode(data)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("Decode returned a geometry alongside error %v", err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatal("Decode succeeded with nil geometry")
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		re := Encode(g)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:n], re)
+		}
+	})
+}
+
+// FuzzDecodeFramed covers the length-prefix layer: arbitrary headers must
+// never panic or over-consume, and decodable records round-trip through
+// AppendFramed.
+func FuzzDecodeFramed(f *testing.F) {
+	f.Add(AppendFramed(nil, geom.Point{X: 7, Y: -7}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}) // header claiming ~4 GiB
+	f.Add([]byte{2, 0, 0, 0, 1})                   // payload shorter than announced
+	f.Add([]byte{0, 0, 0, 0})                      // empty payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, n, err := DecodeFramed(data)
+		if err != nil {
+			return
+		}
+		if n < FrameHeaderSize || n > len(data) {
+			t.Fatalf("DecodeFramed consumed %d of %d bytes", n, len(data))
+		}
+		if !bytes.Equal(AppendFramed(nil, g), data[:n]) {
+			t.Fatal("framed re-encode mismatch")
+		}
+	})
+}

@@ -1,8 +1,25 @@
 // Package wkb implements the Well-Known Binary encoding of geometries (the
-// binary sibling of WKT, paper §2) plus the fixed-size binary record layouts
-// used by the paper's unformatted-file experiments: files of MBRs (4 doubles)
-// and of fixed-length points. WKB also serves as the serialization format of
-// the geometry exchange buffers in the all-to-all spatial partitioning step.
+// binary sibling of WKT, paper §2) plus the binary record layouts used by
+// the paper's unformatted-file experiments: fixed-size records of MBRs and
+// points (records.go), and the length-prefixed variable-size record framing
+// the binary ingest path reads (core.LengthPrefixed). WKB also serves as
+// the serialization format of the geometry exchange buffers in the
+// all-to-all spatial partitioning step.
+//
+// The decoder is file-facing — core.ReadPartition hands it raw record bytes
+// — so every length and count field is treated as untrusted: claimed
+// element counts are bounded against the bytes actually remaining before
+// anything is allocated, and all size arithmetic is done in 64 bits so it
+// cannot wrap where int is 32 bits (GOARCH=386, arm).
+//
+// Like the WKT scanner, decoding is arena-backed: coordinates accumulate
+// into a per-Parser slab that decoded geometries slice out of, so steady-
+// state decoding of a record stream allocates one slab per ~1k vertices
+// instead of one []Point per geometry. A Parser may be reused across
+// records (geometries returned by earlier calls stay valid — exhausted
+// slabs are abandoned to the garbage collector, never recycled), but a
+// single Parser must not be shared between goroutines. The package-level
+// Decode draws Parsers from a pool and is safe for concurrent use.
 package wkb
 
 import (
@@ -10,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -24,16 +42,33 @@ const (
 	codeMultiPolygon    = 6
 )
 
-// ErrTruncated is returned when the buffer ends before the geometry does.
+// Minimum encoded sizes used to bound untrusted element counts: a vertex is
+// two doubles; a collection element is at least its byte-order marker, type
+// code and one count word; a MULTIPOINT element is a full point geometry; a
+// ring is at least its count word.
+const (
+	minPointBytes          = 16
+	minCollectionElemBytes = 9
+	minMultiPointElemBytes = 21
+	minRingBytes           = 4
+)
+
+// ErrTruncated is returned when the buffer ends before the geometry does —
+// including when a count field claims more elements than the remaining
+// bytes could possibly hold.
 var ErrTruncated = errors.New("wkb: truncated input")
 
-// Append encodes g in little-endian WKB, appending to dst.
+// Append encodes g in little-endian WKB, appending to dst. Point is
+// accepted both by value and by pointer, like every other geometry.
 func Append(dst []byte, g geom.Geometry) []byte {
 	dst = append(dst, 1) // little-endian marker
 	switch v := g.(type) {
 	case geom.Point:
 		dst = appendU32(dst, codePoint)
 		dst = appendPoint(dst, v)
+	case *geom.Point:
+		dst = appendU32(dst, codePoint)
+		dst = appendPoint(dst, *v)
 	case *geom.LineString:
 		dst = appendU32(dst, codeLineString)
 		dst = appendPoints(dst, v.Pts)
@@ -67,116 +102,275 @@ func Append(dst []byte, g geom.Geometry) []byte {
 // Encode returns the WKB encoding of g.
 func Encode(g geom.Geometry) []byte { return Append(nil, g) }
 
+// parserPool backs the package-level Decode so stateless callers still get
+// arena-amortized decoding.
+var parserPool = sync.Pool{New: func() any { return NewParser() }}
+
 // Decode parses one WKB geometry from the front of buf and returns it along
-// with the number of bytes consumed.
+// with the number of bytes consumed. It is safe for concurrent use; hot
+// loops that decode many records from one goroutine should hold a dedicated
+// Parser instead.
 func Decode(buf []byte) (geom.Geometry, int, error) {
-	d := decoder{buf: buf}
-	g, err := d.geometry()
+	p := parserPool.Get().(*Parser)
+	g, n, err := p.Decode(buf)
+	parserPool.Put(p)
+	return g, n, err
+}
+
+// slabPoints is the coordinate arena granularity, mirroring internal/wkt:
+// one allocation per this many vertices in steady state (16 KiB slabs).
+const slabPoints = 1024
+
+// Parser is a reusable WKB decoder. The zero value is ready to use. It owns
+// a coordinate arena, so a Parser is single-goroutine; geometries it
+// returns remain valid for the Parser's whole lifetime and after it is
+// discarded.
+type Parser struct {
+	buf []byte
+	pos int
+
+	// slab is the coordinate arena. Completed point runs are sliced out
+	// with a full slice expression and handed to geometries, so the slab is
+	// never truncated below its used length; when it fills, a fresh slab is
+	// allocated and the old one is left to the geometries referencing it.
+	slab []geom.Point
+	// mark is the start of the in-progress point run within slab.
+	mark int
+}
+
+// NewParser returns a Parser with a pre-allocated coordinate arena.
+func NewParser() *Parser {
+	return &Parser{slab: make([]geom.Point, 0, slabPoints)}
+}
+
+// Decode parses one WKB geometry from the front of buf and returns it along
+// with the number of bytes consumed. The buf slice is not retained; decoded
+// geometries copy their coordinates into the arena.
+func (p *Parser) Decode(buf []byte) (geom.Geometry, int, error) {
+	p.buf, p.pos = buf, 0
+	g, err := p.geometry()
+	n := p.pos
+	p.buf = nil // don't pin the caller's (possibly huge, recycled) buffer
 	if err != nil {
 		return nil, 0, err
 	}
-	return g, d.pos, nil
+	return g, n, nil
 }
 
-type decoder struct {
-	buf []byte
-	pos int
+// beginRun starts a new point run in the arena.
+func (p *Parser) beginRun() { p.mark = len(p.slab) }
+
+// pushPoint appends one vertex to the in-progress run. When the slab is
+// full the run migrates to a fresh slab; completed geometries keep the old
+// backing array, so nothing they reference is ever overwritten.
+func (p *Parser) pushPoint(pt geom.Point) {
+	if len(p.slab) == cap(p.slab) {
+		run := len(p.slab) - p.mark
+		size := slabPoints
+		if size < 2*(run+1) {
+			size = 2 * (run + 1) // one oversized run gets its own slab
+		}
+		ns := make([]geom.Point, run, size)
+		copy(ns, p.slab[p.mark:])
+		p.slab, p.mark = ns, 0
+	}
+	p.slab = append(p.slab, pt)
 }
 
-func (d *decoder) u32() (uint32, error) {
-	if d.pos+4 > len(d.buf) {
+// takeRun completes the in-progress run and returns it. The full slice
+// expression caps the result so callers appending to it reallocate instead
+// of writing into the arena.
+func (p *Parser) takeRun() []geom.Point {
+	out := p.slab[p.mark:len(p.slab):len(p.slab)]
+	p.mark = len(p.slab)
+	return out
+}
+
+// abandonRun discards the in-progress run, reclaiming its arena space
+// (safe because the run was never handed to a geometry).
+func (p *Parser) abandonRun() { p.slab = p.slab[:p.mark] }
+
+func (p *Parser) u32() (uint32, error) {
+	if p.pos+4 > len(p.buf) {
 		return 0, ErrTruncated
 	}
-	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
-	d.pos += 4
+	v := binary.LittleEndian.Uint32(p.buf[p.pos:])
+	p.pos += 4
 	return v, nil
 }
 
-func (d *decoder) f64() (float64, error) {
-	if d.pos+8 > len(d.buf) {
+func (p *Parser) f64() (float64, error) {
+	if p.pos+8 > len(p.buf) {
 		return 0, ErrTruncated
 	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
-	d.pos += 8
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.buf[p.pos:]))
+	p.pos += 8
 	return v, nil
 }
 
-func (d *decoder) point() (geom.Point, error) {
-	x, err := d.f64()
+// count reads a u32 element count and bounds it against the bytes actually
+// remaining: every element occupies at least minSize bytes, so a claimed
+// count beyond remaining/minSize is truncation (or corruption) that would
+// otherwise reserve unbounded memory — a 9-byte MULTIPOINT header must not
+// make the decoder set aside gigabytes. The comparison is done in int64 so
+// the product cannot wrap where int is 32 bits.
+func (p *Parser) count(minSize int) (int, error) {
+	n, err := p.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(minSize) > int64(len(p.buf)-p.pos) {
+		return 0, ErrTruncated
+	}
+	return int(n), nil
+}
+
+// header consumes one nested geometry header (byte-order marker plus type
+// code) and checks the code against want.
+func (p *Parser) header(want uint32, mismatch string) error {
+	if p.pos >= len(p.buf) {
+		return ErrTruncated
+	}
+	if p.buf[p.pos] != 1 {
+		return fmt.Errorf("wkb: unsupported byte order marker %d", p.buf[p.pos])
+	}
+	p.pos++
+	code, err := p.u32()
+	if err != nil {
+		return err
+	}
+	if code != want {
+		return errors.New(mismatch)
+	}
+	return nil
+}
+
+func (p *Parser) point() (geom.Point, error) {
+	x, err := p.f64()
 	if err != nil {
 		return geom.Point{}, err
 	}
-	y, err := d.f64()
+	y, err := p.f64()
 	if err != nil {
 		return geom.Point{}, err
 	}
 	return geom.Point{X: x, Y: y}, nil
 }
 
-func (d *decoder) points() ([]geom.Point, error) {
-	n, err := d.u32()
+// pointRun decodes a counted vertex sequence into the arena.
+func (p *Parser) pointRun() ([]geom.Point, error) {
+	n, err := p.count(minPointBytes)
 	if err != nil {
 		return nil, err
 	}
-	if int(n)*16 > len(d.buf)-d.pos {
-		return nil, ErrTruncated
-	}
-	pts := make([]geom.Point, n)
-	for i := range pts {
-		if pts[i], err = d.point(); err != nil {
+	p.beginRun()
+	for i := 0; i < n; i++ {
+		pt, err := p.point()
+		if err != nil {
+			p.abandonRun()
 			return nil, err
 		}
+		p.pushPoint(pt)
 	}
-	return pts, nil
+	return p.takeRun(), nil
 }
 
-func (d *decoder) geometry() (geom.Geometry, error) {
-	if d.pos >= len(d.buf) {
+func (p *Parser) geometry() (geom.Geometry, error) {
+	if p.pos >= len(p.buf) {
 		return nil, ErrTruncated
 	}
-	if d.buf[d.pos] != 1 {
-		return nil, fmt.Errorf("wkb: unsupported byte order marker %d", d.buf[d.pos])
+	if p.buf[p.pos] != 1 {
+		return nil, fmt.Errorf("wkb: unsupported byte order marker %d", p.buf[p.pos])
 	}
-	d.pos++
-	code, err := d.u32()
+	p.pos++
+	code, err := p.u32()
 	if err != nil {
 		return nil, err
 	}
 	switch code {
 	case codePoint:
-		return d.point()
+		return p.point()
 	case codeLineString:
-		pts, err := d.points()
+		pts, err := p.pointRun()
 		if err != nil {
 			return nil, err
 		}
 		return &geom.LineString{Pts: pts}, nil
 	case codePolygon:
-		return d.polygonBody()
-	case codeMultiPoint, codeMultiLineString, codeMultiPolygon:
-		n, err := d.u32()
+		poly := &geom.Polygon{}
+		if err := p.polygonBody(poly); err != nil {
+			return nil, err
+		}
+		return poly, nil
+	case codeMultiPoint:
+		n, err := p.count(minMultiPointElemBytes)
 		if err != nil {
 			return nil, err
 		}
-		return d.collection(code, int(n))
+		p.beginRun()
+		for i := 0; i < n; i++ {
+			if err := p.header(codePoint, "wkb: MULTIPOINT element is not a point"); err != nil {
+				p.abandonRun()
+				return nil, err
+			}
+			pt, err := p.point()
+			if err != nil {
+				p.abandonRun()
+				return nil, err
+			}
+			p.pushPoint(pt)
+		}
+		return &geom.MultiPoint{Pts: p.takeRun()}, nil
+	case codeMultiLineString:
+		n, err := p.count(minCollectionElemBytes)
+		if err != nil {
+			return nil, err
+		}
+		lines := make([]geom.LineString, 0, n)
+		for i := 0; i < n; i++ {
+			if err := p.header(codeLineString, "wkb: MULTILINESTRING element is not a linestring"); err != nil {
+				return nil, err
+			}
+			pts, err := p.pointRun()
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, geom.LineString{Pts: pts})
+		}
+		return &geom.MultiLineString{Lines: lines}, nil
+	case codeMultiPolygon:
+		n, err := p.count(minCollectionElemBytes)
+		if err != nil {
+			return nil, err
+		}
+		polys := make([]geom.Polygon, 0, n)
+		for i := 0; i < n; i++ {
+			if err := p.header(codePolygon, "wkb: MULTIPOLYGON element is not a polygon"); err != nil {
+				return nil, err
+			}
+			polys = append(polys, geom.Polygon{})
+			if err := p.polygonBody(&polys[len(polys)-1]); err != nil {
+				return nil, err
+			}
+		}
+		return &geom.MultiPolygon{Polys: polys}, nil
 	default:
 		return nil, fmt.Errorf("wkb: unsupported geometry code %d", code)
 	}
 }
 
-func (d *decoder) polygonBody() (*geom.Polygon, error) {
-	nRings, err := d.u32()
+func (p *Parser) polygonBody(poly *geom.Polygon) error {
+	nRings, err := p.count(minRingBytes)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if nRings == 0 {
-		return nil, errors.New("wkb: polygon with zero rings")
+		return errors.New("wkb: polygon with zero rings")
 	}
-	poly := &geom.Polygon{}
-	for i := 0; i < int(nRings); i++ {
-		ring, err := d.points()
+	for i := 0; i < nRings; i++ {
+		ring, err := p.pointRun()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if i == 0 {
 			poly.Shell = ring
@@ -184,54 +378,7 @@ func (d *decoder) polygonBody() (*geom.Polygon, error) {
 			poly.Holes = append(poly.Holes, ring)
 		}
 	}
-	return poly, nil
-}
-
-func (d *decoder) collection(code uint32, n int) (geom.Geometry, error) {
-	switch code {
-	case codeMultiPoint:
-		pts := make([]geom.Point, 0, n)
-		for i := 0; i < n; i++ {
-			g, err := d.geometry()
-			if err != nil {
-				return nil, err
-			}
-			p, ok := g.(geom.Point)
-			if !ok {
-				return nil, errors.New("wkb: MULTIPOINT element is not a point")
-			}
-			pts = append(pts, p)
-		}
-		return &geom.MultiPoint{Pts: pts}, nil
-	case codeMultiLineString:
-		lines := make([]geom.LineString, 0, n)
-		for i := 0; i < n; i++ {
-			g, err := d.geometry()
-			if err != nil {
-				return nil, err
-			}
-			l, ok := g.(*geom.LineString)
-			if !ok {
-				return nil, errors.New("wkb: MULTILINESTRING element is not a linestring")
-			}
-			lines = append(lines, *l)
-		}
-		return &geom.MultiLineString{Lines: lines}, nil
-	default:
-		polys := make([]geom.Polygon, 0, n)
-		for i := 0; i < n; i++ {
-			g, err := d.geometry()
-			if err != nil {
-				return nil, err
-			}
-			p, ok := g.(*geom.Polygon)
-			if !ok {
-				return nil, errors.New("wkb: MULTIPOLYGON element is not a polygon")
-			}
-			polys = append(polys, *p)
-		}
-		return &geom.MultiPolygon{Polys: polys}, nil
-	}
+	return nil
 }
 
 func appendU32(dst []byte, v uint32) []byte {

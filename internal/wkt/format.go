@@ -21,6 +21,10 @@ func Append(dst []byte, g geom.Geometry) []byte {
 		dst = append(dst, "POINT ("...)
 		dst = appendCoord(dst, v)
 		return append(dst, ')')
+	case *geom.Point:
+		dst = append(dst, "POINT ("...)
+		dst = appendCoord(dst, *v)
+		return append(dst, ')')
 	case *geom.LineString:
 		dst = append(dst, "LINESTRING "...)
 		return appendPointList(dst, v.Pts)

@@ -138,6 +138,19 @@ func TestFormatRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFormatPointerPoint pins the *geom.Point asymmetry fix: every other
+// geometry formats through a pointer, so a pointer-to-Point must render as
+// WKT instead of an UNSUPPORTED placeholder.
+func TestFormatPointerPoint(t *testing.T) {
+	p := geom.Point{X: 30, Y: 10}
+	if got, want := Format(&p), Format(p); got != want {
+		t.Errorf("Format(&p) = %q, want %q", got, want)
+	}
+	if got := Format(&p); strings.Contains(got, "UNSUPPORTED") {
+		t.Errorf("Format(&p) = %q", got)
+	}
+}
+
 // randomGeometry builds an arbitrary valid geometry for round-trip checks.
 func randomGeometry(r *rand.Rand) geom.Geometry {
 	coord := func() float64 {

@@ -42,10 +42,44 @@
 // first call is a write: a geometry handed to multiple goroutines should
 // have Envelope() called once before sharing (see the geom package doc).
 //
+// # Record framings and the binary WKB path
+//
+// ReadPartition's record framing is pluggable (ReadOptions.Framing). The
+// default, Delimited, reads separator-terminated text — newline-delimited
+// WKT. LengthPrefixed reads the binary record layout of the paper's §4.1
+// experiments: each record is a little-endian u32 payload length followed
+// by that many bytes of WKB (AppendWKBRecord writes one; GenerateEncoded
+// with EncodingWKB writes whole datasets). The binary path does no float
+// scanning at all, so ingest throughput approaches raw I/O bandwidth
+// (paper Figures 12/15 — and BENCH_ingest.json tracks the measured
+// text-vs-binary ratio):
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		p := vectorio.NewWKBParser() // per-rank, not shared
+//		geoms, _, err := vectorio.ReadPartition(c, f, p, vectorio.ReadOptions{
+//			Framing: vectorio.LengthPrefixed(),
+//		})
+//		...
+//	})
+//
+// WKBParser follows the same pooling rules as WKTParser: the zero value is
+// concurrency-safe via pooled decoders, NewWKBParser holds a dedicated
+// single-goroutine coordinate arena, and either way the returned geometries
+// outlive the parser. Because length-prefixed records are not
+// self-synchronizing (a length header is indistinguishable from payload
+// bytes), binary boundary repair threads phase information between ranks:
+// the message-based strategy serializes its ring exchange into a cheap
+// header-hopping chain, and the overlap strategy passes an 8-byte phase
+// token — its only message — alongside the usual redundant halo reads. A
+// record whose length header straddles a block boundary is reassembled
+// transparently. Under LengthPrefixed, ReadOptions.MaxGeomSize bounds the
+// framed record (header included), and a file that ends mid-record fails
+// with a truncation error instead of silently dropping the tail.
+//
 // See the examples/ directory for complete programs: quickstart (parallel
-// read), spatialjoin (the paper's end-to-end exemplar), rangequery
-// (filter-and-refine batch queries) and gridindex (parallel R-tree
-// construction).
+// read), wkbingest (the binary fast path vs text), spatialjoin (the
+// paper's end-to-end exemplar), rangequery (filter-and-refine batch
+// queries) and gridindex (parallel R-tree construction).
 package vectorio
 
 import (
@@ -59,6 +93,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/rtree"
 	"repro/internal/spatial"
+	"repro/internal/wkb"
 	"repro/internal/wkt"
 )
 
@@ -135,6 +170,12 @@ type (
 	Parser = core.Parser
 	// WKTParser parses newline-delimited WKT records.
 	WKTParser = core.WKTParser
+	// WKBParser parses binary WKB record payloads (use with the
+	// LengthPrefixed framing).
+	WKBParser = core.WKBParser
+	// Framing selects how a file divides into records (Delimited text or
+	// LengthPrefixed binary).
+	Framing = core.Framing
 	// ReadOptions configures ReadPartition (block size, access level,
 	// boundary strategy, halo size).
 	ReadOptions = core.ReadOptions
@@ -166,6 +207,22 @@ const (
 // shared between goroutines; see "Parser pooling and buffer ownership" in
 // the package documentation.
 func NewWKTParser() WKTParser { return core.NewWKTParser() }
+
+// NewWKBParser returns a WKBParser with a dedicated reusable coordinate
+// arena — the binary counterpart of NewWKTParser, under the same
+// single-goroutine contract.
+func NewWKBParser() WKBParser { return core.NewWKBParser() }
+
+// Record framings (see "Record framings and the binary WKB path" in the
+// package documentation).
+var (
+	// Delimited frames separator-terminated text records; Delimited(0)
+	// means newline-delimited, the ReadOptions default.
+	Delimited = core.Delimited
+	// LengthPrefixed frames u32-length-prefixed binary records (WKB
+	// payloads).
+	LengthPrefixed = core.LengthPrefixed
+)
 
 // ReadPartition reads and partitions a vector file across all ranks: every
 // rank returns the geometries whose records end inside its partitions
@@ -220,6 +277,16 @@ var (
 	ParseWKT = wkt.ParseString
 	// FormatWKT renders a geometry as WKT.
 	FormatWKT = wkt.Format
+	// EncodeWKB returns the WKB encoding of a geometry.
+	EncodeWKB = wkb.Encode
+	// DecodeWKB parses one WKB geometry from the front of a buffer,
+	// returning the bytes consumed.
+	DecodeWKB = wkb.Decode
+	// AppendWKBRecord appends one length-prefixed WKB record — the layout
+	// the LengthPrefixed framing ingests.
+	AppendWKBRecord = wkb.AppendFramed
+	// DecodeWKBRecord decodes one length-prefixed WKB record.
+	DecodeWKBRecord = wkb.DecodeFramed
 	// Intersects is the exact-geometry intersection predicate used in the
 	// refine phase.
 	Intersects = geom.Intersects
@@ -266,6 +333,17 @@ type (
 	DatasetSpec = datagen.Spec
 	// DatasetStats reports what a generation run produced.
 	DatasetStats = datagen.Stats
+	// DatasetEncoding selects the on-disk record format of a generated
+	// dataset (EncodingWKT or EncodingWKB).
+	DatasetEncoding = datagen.Encoding
+)
+
+// Dataset record encodings.
+const (
+	// EncodingWKT writes newline-delimited WKT text.
+	EncodingWKT = datagen.EncodingWKT
+	// EncodingWKB writes length-prefixed binary WKB records.
+	EncodingWKB = datagen.EncodingWKB
 )
 
 // Table 3 dataset presets and generators.
@@ -280,6 +358,11 @@ var (
 
 	// Generate writes a scaled dataset as newline-delimited WKT.
 	Generate = datagen.Generate
+	// GenerateEncoded writes a scaled dataset in an explicit record
+	// encoding (text or binary).
+	GenerateEncoded = datagen.GenerateEncoded
 	// GenerateFile generates a dataset onto a simulated filesystem.
 	GenerateFile = datagen.GenerateFile
+	// GenerateFileEncoded is GenerateFile with an explicit record encoding.
+	GenerateFileEncoded = datagen.GenerateFileEncoded
 )

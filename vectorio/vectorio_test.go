@@ -144,3 +144,66 @@ func TestDatasetPresetsExposed(t *testing.T) {
 		t.Error("cemetery preset generated no polygons")
 	}
 }
+
+// TestPublicAPIBinaryIngest drives the binary fast path through the facade:
+// generate a WKB dataset, read it with the LengthPrefixed framing and a
+// per-rank WKBParser, and check the multiset against the WKT twin of the
+// same spec.
+func TestPublicAPIBinaryIngest(t *testing.T) {
+	fs, err := vectorio.NewFS(vectorio.RogerGPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vectorio.Cemetery()
+	const scale = 2048
+	bin, binStats, err := vectorio.GenerateFileEncoded(spec, scale, vectorio.EncodingWKB, fs, "cem.wkb", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binStats.Records == 0 {
+		t.Fatal("empty binary dataset")
+	}
+
+	var mu sync.Mutex
+	records := 0
+	err = vectorio.Run(vectorio.Local(4), func(c *vectorio.Comm) error {
+		f := vectorio.Open(c, bin, vectorio.Hints{})
+		p := vectorio.NewWKBParser()
+		geoms, stats, err := vectorio.ReadPartition(c, f, p, vectorio.ReadOptions{
+			BlockSize: 4 << 10,
+			Framing:   vectorio.LengthPrefixed(),
+		})
+		if err != nil {
+			return err
+		}
+		for _, g := range geoms {
+			if g.NumPoints() < 4 { // closed polygon rings
+				return fmt.Errorf("implausible geometry: %d vertices", g.NumPoints())
+			}
+		}
+		mu.Lock()
+		records += stats.Records
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(records) != binStats.Records {
+		t.Errorf("read %d records, generated %d", records, binStats.Records)
+	}
+
+	// Encoder helpers round-trip through the facade too.
+	g, err := vectorio.ParseWKT("POLYGON ((0 0, 2 0, 2 2, 0 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := vectorio.AppendWKBRecord(nil, g)
+	back, n, err := vectorio.DecodeWKBRecord(rec)
+	if err != nil || n != len(rec) {
+		t.Fatalf("framed round trip: %v (n=%d of %d)", err, n, len(rec))
+	}
+	if vectorio.FormatWKT(back) != vectorio.FormatWKT(g) {
+		t.Errorf("round trip changed geometry: %s", vectorio.FormatWKT(back))
+	}
+}
