@@ -32,11 +32,14 @@ type ParserSample struct {
 
 // IngestRun is one end-to-end ReadPartition measurement. Format is the
 // record encoding read: "wkt" (delimited text) or "wkb" (length-prefixed
-// binary).
+// binary). ParseWorkers is ReadOptions.ParseWorkers (0 = the serial parse
+// path); worker-scaling rows only show wall-clock gains when the host has
+// cores to spare beyond the rank count — see the report's NumCPU.
 type IngestRun struct {
 	Dataset       string  `json:"dataset"`
 	Format        string  `json:"format"`
 	Ranks         int     `json:"ranks"`
+	ParseWorkers  int     `json:"parse_workers"`
 	Records       int     `json:"records"`
 	BytesRead     int64   `json:"bytes_read"`
 	WallSeconds   float64 `json:"wall_seconds"`
@@ -50,11 +53,15 @@ type IngestRun struct {
 // can report progress against a fixed origin. Parser keys suffixed "-wkb"
 // measure the binary decoder on the WKB encoding of the same fixture.
 type IngestReport struct {
-	GeneratedAt string                  `json:"generated_at"`
-	GoVersion   string                  `json:"go_version"`
-	Parser      map[string]ParserSample `json:"parser"`
-	SeedParser  map[string]ParserSample `json:"seed_parser"`
-	Ingest      []IngestRun             `json:"ingest"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// NumCPU is runtime.NumCPU() on the build machine — the context for the
+	// worker-scaling ingest rows (ParseWorkers > 0 cannot beat the serial
+	// wall clock when ranks already saturate the host's cores).
+	NumCPU     int                     `json:"num_cpu"`
+	Parser     map[string]ParserSample `json:"parser"`
+	SeedParser map[string]ParserSample `json:"seed_parser"`
+	Ingest     []IngestRun             `json:"ingest"`
 }
 
 // seedParserBaseline is the seed (pre-rewrite) scanner measured on the same
@@ -105,6 +112,7 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 	rep := &IngestReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
 		Parser:      make(map[string]ParserSample),
 		SeedParser:  seedParserBaseline(),
 	}
@@ -138,19 +146,25 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 
 	// End-to-end: read + boundary repair + parse the same (scaled) polygon
 	// dataset across a small local world, wall-clock, in both encodings.
+	// workers = 0 keeps the serial rows comparable across PRs; the
+	// worker-scaling rows measure ReadOptions.ParseWorkers on the same
+	// datasets (parse-bound WKT is where the pool pays off; WKB is already
+	// near I/O bandwidth).
 	for _, ranks := range []int{1, 4} {
 		for _, enc := range []datagen.Encoding{datagen.EncodingWKT, datagen.EncodingWKB} {
-			run, err := ingestOnce(cfg, ranks, enc)
-			if err != nil {
-				return nil, err
+			for _, workers := range []int{0, 2, 4} {
+				run, err := ingestOnce(cfg, ranks, enc, workers)
+				if err != nil {
+					return nil, err
+				}
+				rep.Ingest = append(rep.Ingest, run)
 			}
-			rep.Ingest = append(rep.Ingest, run)
 		}
 	}
 	return rep, nil
 }
 
-func ingestOnce(cfg Config, ranks int, enc datagen.Encoding) (IngestRun, error) {
+func ingestOnce(cfg Config, ranks int, enc datagen.Encoding, workers int) (IngestRun, error) {
 	spec := datagen.Lakes()
 	// Lakes at 9 GB full scale; divide down to ~18 MB of real bytes so the
 	// measurement stays sub-second but spans many blocks per rank.
@@ -159,7 +173,7 @@ func ingestOnce(cfg Config, ranks int, enc datagen.Encoding) (IngestRun, error) 
 	if err != nil {
 		return IngestRun{}, err
 	}
-	opt := core.ReadOptions{BlockSize: realBytes(256<<20, scale)}
+	opt := core.ReadOptions{BlockSize: realBytes(256<<20, scale), ParseWorkers: workers}
 	parser := func() core.Parser { return core.NewWKTParser() }
 	if enc == datagen.EncodingWKB {
 		opt.Framing = core.LengthPrefixed()
@@ -185,12 +199,13 @@ func ingestOnce(cfg Config, ranks int, enc datagen.Encoding) (IngestRun, error) 
 	})
 	wall := time.Since(start).Seconds()
 	if err != nil {
-		return IngestRun{}, fmt.Errorf("ingest %s %d ranks: %w", enc, ranks, err)
+		return IngestRun{}, fmt.Errorf("ingest %s %d ranks %d workers: %w", enc, ranks, workers, err)
 	}
 	return IngestRun{
 		Dataset:       spec.Name,
 		Format:        enc.String(),
 		Ranks:         ranks,
+		ParseWorkers:  workers,
 		Records:       records,
 		BytesRead:     bytesRead,
 		WallSeconds:   wall,
@@ -215,7 +230,8 @@ func (r *IngestReport) IngestTable() *Table {
 		ID:     "bench-ingest",
 		Title:  "Ingest hot path, wall-clock (real time, not virtual)",
 		Header: []string{"Fixture", "ns/op", "MB/s", "allocs/op", "seed allocs/op"},
-		Notes:  "parser rows are per-record microbenchmarks (-wkb = binary decoder); ingest rows are end-to-end ReadPartition",
+		Notes: "parser rows are per-record microbenchmarks (-wkb = binary decoder); ingest rows are end-to-end " +
+			"ReadPartition (wN = ParseWorkers per rank; worker rows only beat w0 when the host has cores beyond the rank count — see num_cpu)",
 	}
 	for _, fx := range ingestFixtures {
 		for _, key := range []string{fx.key, fx.key + "-wkb"} {
@@ -238,7 +254,7 @@ func (r *IngestReport) IngestTable() *Table {
 	}
 	for _, run := range r.Ingest {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("ingest[%s/%s x%d]", run.Dataset, run.Format, run.Ranks),
+			fmt.Sprintf("ingest[%s/%s x%d w%d]", run.Dataset, run.Format, run.Ranks, run.ParseWorkers),
 			fmt.Sprintf("%.0f rec", float64(run.Records)),
 			fmt.Sprintf("%.1f", run.MBPerSec),
 			fmt.Sprintf("%.2fs wall", run.WallSeconds),

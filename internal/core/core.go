@@ -54,6 +54,11 @@ func NewWKTParser() WKTParser {
 	return WKTParser{scanner: wkt.NewParser()}
 }
 
+// CloneParser implements ParserCloner: each parallel parse worker gets a
+// WKTParser with its own dedicated coordinate arena, whatever the receiver's
+// configuration.
+func (w WKTParser) CloneParser() Parser { return NewWKTParser() }
+
 // Parse implements Parser.
 func (w WKTParser) Parse(record []byte) (geom.Geometry, error) {
 	record = trimSpace(record)
@@ -91,6 +96,11 @@ type WKBParser struct {
 func NewWKBParser() WKBParser {
 	return WKBParser{dec: wkb.NewParser()}
 }
+
+// CloneParser implements ParserCloner: each parallel parse worker gets a
+// WKBParser with its own dedicated coordinate arena, whatever the receiver's
+// configuration.
+func (w WKBParser) CloneParser() Parser { return NewWKBParser() }
 
 // Parse implements Parser. An empty record is malformed — the WKB encoders
 // never write one — and fails like any other truncation rather than being

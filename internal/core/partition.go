@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/costmodel"
 	"repro/internal/geom"
@@ -10,6 +11,56 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/wkb"
 )
+
+// exchangeHeader is the byte size of one exchange frame's header:
+// [cell uint32][payload length uint32].
+const exchangeHeader = 8
+
+// appendExchangeFrame appends one [cell u32][len u32][wkb payload] exchange
+// frame to dst, encoding the geometry directly into dst (no intermediate
+// per-geometry buffer) and back-patching the header once the payload length
+// is known. Both header fields are range-checked: a grid with more than 2^32
+// cells or a geometry whose WKB exceeds 4 GiB would otherwise wrap silently
+// and deframe as garbage on the receiving rank.
+func appendExchangeFrame(dst []byte, cell int, g geom.Geometry) ([]byte, error) {
+	if cell < 0 || int64(cell) > math.MaxUint32 {
+		return dst, fmt.Errorf("core: exchange cell id %d overflows the u32 frame header", cell)
+	}
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = wkb.Append(dst, g)
+	plen := len(dst) - hdr - exchangeHeader
+	if int64(plen) > math.MaxUint32 {
+		return dst, fmt.Errorf("core: exchange payload of %d bytes overflows the u32 frame header", plen)
+	}
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(cell))
+	binary.LittleEndian.PutUint32(dst[hdr+4:], uint32(plen))
+	return dst, nil
+}
+
+// decodeExchangeFrame decodes one exchange frame from the front of part and
+// returns the remainder. A decoder error and a short decode (wkb.Decode
+// consuming fewer bytes than the frame announced, with no error) are
+// distinct failures: wrapping a nil error would print a garbage
+// "%!w(<nil>)" message, so the short decode is reported explicitly.
+func decodeExchangeFrame(part []byte) (cell int, g geom.Geometry, rest []byte, err error) {
+	if len(part) < exchangeHeader {
+		return 0, nil, nil, fmt.Errorf("core: truncated exchange frame header")
+	}
+	cell = int(binary.LittleEndian.Uint32(part[0:]))
+	plen := int(binary.LittleEndian.Uint32(part[4:]))
+	if len(part) < exchangeHeader+plen {
+		return 0, nil, nil, fmt.Errorf("core: truncated exchange frame payload")
+	}
+	g, used, derr := wkb.Decode(part[exchangeHeader : exchangeHeader+plen])
+	if derr != nil {
+		return 0, nil, nil, fmt.Errorf("core: exchange payload decode: %w", derr)
+	}
+	if used != plen {
+		return 0, nil, nil, fmt.Errorf("core: exchange payload decode: geometry ends after %d of %d framed bytes", used, plen)
+	}
+	return cell, g, part[exchangeHeader+plen:], nil
+}
 
 // Partitioner carries out the global spatial partitioning of §4.2.3: local
 // geometries are projected to grid cells (replicated into every overlapping
@@ -70,6 +121,13 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 	scale := c.Config().Scale()
 	mapping := pt.mapping()
 	numCells := pt.Grid.NumCells()
+	// Cell ids travel in a u32 frame header. Every rank sees the same grid,
+	// so validate once here and fail all ranks identically — deferring to
+	// the per-frame guard would abort only the rank holding an oversized
+	// cell id, mid-collective, and strand its peers in the count exchange.
+	if int64(numCells-1) > math.MaxUint32 {
+		return nil, stats, fmt.Errorf("core: grid has %d cells; exchange frame headers address at most 2^32", numCells)
+	}
 
 	var cellIndex *grid.CellIndex
 	if !pt.DirectGrid {
@@ -115,26 +173,37 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 	result := make(map[int][]geom.Geometry)
 	rank := c.Rank()
 
+	// Per-destination send buffers and count-exchange scratch are recycled
+	// across window phases (the isend/SendRecv layer copies payloads before
+	// returning, so the previous phase never retains them): a sliding-window
+	// partitioning runs many phases, and reallocating size buffers plus one
+	// wkb.Encode per geometry every phase was thrashing the allocator.
+	send := make([][]byte, size)
+	counts := make([]byte, size*8)
+	recvSizes := make([]int, size)
+
 	for ph := 0; ph < phases; ph++ {
 		cellLo := ph * window
 		cellHi := min(cellLo+window, numCells)
 
 		// Serialize this window's placements per destination rank:
-		// frames of [cell uint32][len uint32][wkb payload].
+		// frames of [cell uint32][len uint32][wkb payload], encoded
+		// directly into the recycled buffers.
 		t1 := c.Now()
-		send := make([][]byte, size)
+		for i := range send {
+			send[i] = send[i][:0]
+		}
 		var serGeomCost float64
 		for _, pl := range placements {
 			if pl.cell < cellLo || pl.cell >= cellHi {
 				continue
 			}
 			dst := mapping(pl.cell, size)
-			payload := wkb.Encode(pl.g)
-			var hdr [8]byte
-			binary.LittleEndian.PutUint32(hdr[0:], uint32(pl.cell))
-			binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
-			send[dst] = append(send[dst], hdr[:]...)
-			send[dst] = append(send[dst], payload...)
+			buf, err := appendExchangeFrame(send[dst], pl.cell, pl.g)
+			if err != nil {
+				return nil, stats, err
+			}
+			send[dst] = buf
 			serGeomCost += costmodel.SerializeGeomCost(pl.g.GeomType())
 		}
 		var sentBytes int64
@@ -146,7 +215,6 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 
 		// Round 1: exchange buffer sizes (MPI_Alltoall), so every rank can
 		// build the receive-side count and displacement arrays.
-		counts := make([]byte, size*8)
 		for dst, b := range send {
 			binary.LittleEndian.PutUint64(counts[dst*8:], uint64(len(b)))
 		}
@@ -154,7 +222,6 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: count exchange: %w", err)
 		}
-		recvSizes := make([]int, size)
 		for src := 0; src < size; src++ {
 			recvSizes[src] = int(binary.LittleEndian.Uint64(gotCounts[src*8:]))
 		}
@@ -170,17 +237,9 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 			c.Compute(costmodel.DeserializePerByte * float64(len(part)) * scale)
 			var deserGeomCost float64
 			for len(part) > 0 {
-				if len(part) < 8 {
-					return nil, stats, fmt.Errorf("core: truncated exchange frame header")
-				}
-				cell := int(binary.LittleEndian.Uint32(part[0:]))
-				plen := int(binary.LittleEndian.Uint32(part[4:]))
-				if len(part) < 8+plen {
-					return nil, stats, fmt.Errorf("core: truncated exchange frame payload")
-				}
-				g, used, derr := wkb.Decode(part[8 : 8+plen])
-				if derr != nil || used != plen {
-					return nil, stats, fmt.Errorf("core: exchange payload decode: %w", derr)
+				cell, g, rest, err := decodeExchangeFrame(part)
+				if err != nil {
+					return nil, stats, err
 				}
 				if own := mapping(cell, size); own != rank {
 					return nil, stats, fmt.Errorf("core: received cell %d owned by rank %d on rank %d", cell, own, rank)
@@ -188,7 +247,7 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 				result[cell] = append(result[cell], g)
 				stats.GeomsRecv++
 				deserGeomCost += costmodel.DeserializeGeomCost(g.GeomType())
-				part = part[8+plen:]
+				part = rest
 			}
 			c.Compute(deserGeomCost * scale)
 		}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/wkb"
+)
+
+// TestDecodeExchangeFrameShortDecode is the regression test for the
+// wrapped-nil decode error: when wkb.Decode consumes fewer bytes than the
+// frame header announced but returns no error, the old
+// fmt.Errorf("...: %w", derr) wrapped a nil error and printed a garbage
+// message. The short decode must be reported explicitly.
+func TestDecodeExchangeFrameShortDecode(t *testing.T) {
+	payload := wkb.Encode(geom.Point{X: 1, Y: 2})
+	padded := append(append([]byte{}, payload...), 0xEE) // valid WKB + 1 slack byte
+	frame := make([]byte, 8)
+	binary.LittleEndian.PutUint32(frame[0:], 7)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(padded)))
+	frame = append(frame, padded...)
+
+	_, _, _, err := decodeExchangeFrame(frame)
+	if err == nil {
+		t.Fatal("short decode accepted")
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "%!w") || strings.Contains(msg, "<nil>") {
+		t.Errorf("wrapped-nil garbage in message: %q", msg)
+	}
+	if !strings.Contains(msg, "of") || !strings.Contains(msg, "framed bytes") {
+		t.Errorf("short decode not reported explicitly: %q", msg)
+	}
+}
+
+func TestDecodeExchangeFrameDecoderError(t *testing.T) {
+	frame := make([]byte, 8)
+	binary.LittleEndian.PutUint32(frame[0:], 3)
+	binary.LittleEndian.PutUint32(frame[4:], 3)
+	frame = append(frame, 9, 9, 9) // garbage WKB
+	if _, _, _, err := decodeExchangeFrame(frame); err == nil {
+		t.Fatal("garbage payload accepted")
+	} else if strings.Contains(err.Error(), "<nil>") {
+		t.Errorf("nil wrapped into decoder error: %q", err.Error())
+	}
+}
+
+func TestDecodeExchangeFrameTruncated(t *testing.T) {
+	if _, _, _, err := decodeExchangeFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	frame := make([]byte, 8)
+	binary.LittleEndian.PutUint32(frame[4:], 100) // announces more than present
+	if _, _, _, err := decodeExchangeFrame(frame); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestAppendExchangeFrameRoundTrip(t *testing.T) {
+	g := geom.Point{X: 3, Y: 4}
+	buf, err := appendExchangeFrame(nil, 42, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, got, rest, err := decodeExchangeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell != 42 || len(rest) != 0 {
+		t.Errorf("cell=%d rest=%d bytes", cell, len(rest))
+	}
+	if p, ok := got.(geom.Point); !ok || p != g {
+		t.Errorf("round trip produced %#v", got)
+	}
+	// Frames concatenate: a second append decodes after the first.
+	buf, err = appendExchangeFrame(buf, 7, geom.Point{X: 5, Y: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rest, err = decodeExchangeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell2, _, rest2, err := decodeExchangeFrame(rest); err != nil || cell2 != 7 || len(rest2) != 0 {
+		t.Errorf("second frame: cell=%d rest=%d err=%v", cell2, len(rest2), err)
+	}
+}
+
+// TestExchangeRejectsOversizedGridCollectively: a grid whose cell ids
+// overflow the u32 frame header must fail on every rank at Exchange entry
+// (the same numCells everywhere), not strand peers behind one rank's
+// mid-collective abort.
+func TestExchangeRejectsOversizedGridCollectively(t *testing.T) {
+	if bits.UintSize != 64 {
+		t.Skip("cell ids cannot exceed 2^32 on a 32-bit int")
+	}
+	g, err := grid.New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 1<<17, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	failures := 0
+	err = mpi.Run(cluster.Local(3), func(c *mpi.Comm) error {
+		pt := &Partitioner{Grid: g, DirectGrid: true}
+		var local []geom.Geometry
+		if c.Rank() == 0 {
+			local = []geom.Geometry{geom.Point{X: 50, Y: 50}}
+		}
+		_, _, err := pt.Exchange(c, local)
+		if err == nil {
+			return fmt.Errorf("rank %d: oversized grid accepted", c.Rank())
+		}
+		if !strings.Contains(err.Error(), "at most 2^32") {
+			return fmt.Errorf("rank %d: wrong failure: %v", c.Rank(), err)
+		}
+		mu.Lock()
+		failures++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 3 {
+		t.Fatalf("%d ranks failed, want all 3", failures)
+	}
+}
+
+// TestAppendExchangeFrameHeaderGuards: cell ids and payload lengths that do
+// not fit the u32 header fields must error instead of silently wrapping.
+func TestAppendExchangeFrameHeaderGuards(t *testing.T) {
+	g := geom.Point{X: 1, Y: 1}
+	if _, err := appendExchangeFrame(nil, -1, g); err == nil {
+		t.Error("negative cell id accepted")
+	}
+	if bits.UintSize == 64 {
+		huge := int(int64(math.MaxUint32) + 1)
+		if _, err := appendExchangeFrame(nil, huge, g); err == nil {
+			t.Error("cell id 2^32 accepted")
+		}
+		if _, err := appendExchangeFrame(nil, int(int64(math.MaxUint32)), g); err != nil {
+			t.Errorf("cell id 2^32-1 rejected: %v", err)
+		}
+	}
+}

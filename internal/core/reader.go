@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"unicode/utf8"
 
 	"repro/internal/arena"
 	"repro/internal/costmodel"
@@ -64,6 +65,22 @@ type ReadOptions struct {
 	Delimiter byte
 	// SkipErrors counts malformed records instead of failing.
 	SkipErrors bool
+	// ParseWorkers fans record parsing out to this many per-rank worker
+	// goroutines, so a multi-core host overlaps parsing with the next
+	// block's I/O and the boundary exchange. 0 (the default) parses
+	// serially on the rank goroutine — exactly today's behavior. The
+	// output is deterministic: whole-record regions are sharded into
+	// batches at record boundaries, workers parse them concurrently, and
+	// the reader re-assembles results in file order, so the geometry slice
+	// is identical (order included) to the serial path for any worker
+	// count. Virtual-time accounting stays rank-single-threaded: workers
+	// never touch the Comm; each batch's per-record parse cost is
+	// accumulated off-clock and charged on the reader goroutine when the
+	// batch joins, so ReadStats.ParseTime totals match the serial path and
+	// error agreement stays collective-safe. The Parser must either
+	// implement ParserCloner (WKTParser and WKBParser do — every worker
+	// gets its own coordinate arena) or be safe for concurrent use.
+	ParseWorkers int
 }
 
 // ReadStats reports what one rank did during ReadPartition. Times are
@@ -231,7 +248,8 @@ func (ar *readArena) appendFragsReversed(dst []byte) []byte {
 // trailing fragment without knowing the stream phase at its block's first
 // byte.
 func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: f.PFSFile().Scale()}
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale())
+	defer pc.close()
 	n := c.Size()
 	rank := c.Rank()
 	fileSize := f.Size()
@@ -370,10 +388,10 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 		case stitched:
 			ar.rec = ar.appendFragsReversed(ar.rec[:0])
 			ar.rec = append(ar.rec, body...)
-			pc.records(ar.rec, isTerminal)
+			pc.region(ar.rec, isTerminal)
 		case len(prefix) == 0:
 			if len(body) > 0 {
-				pc.records(body, isTerminal)
+				pc.region(body, isTerminal)
 			}
 		default:
 			// prefix non-empty implies body non-empty today (an active rank
@@ -381,12 +399,12 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 			// either way.
 			ar.rec = append(ar.rec[:0], prefix...)
 			ar.rec = append(ar.rec, body...)
-			pc.records(ar.rec, isTerminal)
+			pc.region(ar.rec, isTerminal)
 		}
 	}
 	// Anything still carried at EOF is a final unterminated record.
 	if carry := ar.liveCarry(); len(carry) > 0 {
-		pc.records(carry, true)
+		pc.region(carry, true)
 	}
 	return pc.finish()
 }
@@ -411,7 +429,8 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 // owns end-of-file: nothing flows past it, and leftover bytes there are
 // settled by the framing's EOF rule (for binary records, truncation).
 func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: f.PFSFile().Scale()}
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale())
+	defer pc.close()
 	n := c.Size()
 	rank := c.Rank()
 	fileSize := f.Size()
@@ -513,16 +532,16 @@ func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr 
 		// Parse: the straddler first (it lies earlier in the file), then
 		// the records wholly inside the block, then any EOF leftover.
 		if len(straddle) > 0 {
-			pc.records(straddle, false)
+			pc.region(straddle, false)
 		}
 		if len(body) > 0 {
-			pc.records(body, false)
+			pc.region(body, false)
 		}
 		if len(eofLeft) > 0 {
 			if payload, emit, err := fr.eofTail(eofLeft); err != nil {
 				pc.fail(err)
 			} else if emit {
-				pc.one(payload)
+				pc.rawRecord(payload)
 			}
 		}
 
@@ -553,7 +572,7 @@ func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr 
 		if payload, emit, err := fr.eofTail(carry); err != nil {
 			pc.fail(err)
 		} else if emit {
-			pc.one(payload)
+			pc.rawRecord(payload)
 		}
 	}
 	return pc.finish()
@@ -617,7 +636,8 @@ func (ar *readArena) recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
 // zero data bytes exchanged; the token is 8 bytes against MaxGeomSize of
 // redundant read per block.
 func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: f.PFSFile().Scale()}
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale())
+	defer pc.close()
 	n := int64(c.Size())
 	rank := int64(c.Rank())
 	fileSize := f.Size()
@@ -728,24 +748,35 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 		}
 
 		if pos >= 0 && pos < ownedEnd {
+			// Scan the owned records first — boundary hops only, no payload
+			// decoding — so the whole run can be handed to the parser as one
+			// whole-record region (sharded across the parse workers when
+			// ParseWorkers > 0).
+			runStart := pos
+			incomplete := false
 			for pos < ownedEnd {
-				payload, framed, ok := fr.next(block[pos:])
+				_, framed, ok := fr.next(block[pos:])
 				if !ok {
-					// No complete record here: either the file ends inside
-					// it (settled by the framing's EOF rule) or it
-					// overflows the halo.
-					if extStart+int64(len(block)) < fileSize {
-						return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
-					}
-					if payload, emit, err := fr.eofTail(block[pos:]); err != nil {
-						pc.fail(err)
-					} else if emit {
-						pc.one(payload)
-					}
+					incomplete = true
 					break
 				}
-				pc.one(payload)
 				pos += int64(framed)
+			}
+			if pos > runStart {
+				pc.region(block[runStart:pos], false)
+			}
+			if incomplete {
+				// No complete record at pos: either the file ends inside it
+				// (settled by the framing's EOF rule) or it overflows the
+				// halo.
+				if extStart+int64(len(block)) < fileSize {
+					return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+				}
+				if payload, emit, err := fr.eofTail(block[pos:]); err != nil {
+					pc.fail(err)
+				} else if emit {
+					pc.rawRecord(payload)
+				}
 			}
 		}
 	}
@@ -754,7 +785,9 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 
 // parseCtx accumulates one rank's parse results and defers parse errors so
 // the collective read structure stays intact: every rank completes all
-// iterations and the error becomes collective in finish().
+// iterations and the error becomes collective in finish(). With
+// ReadOptions.ParseWorkers > 0 it also owns the rank's parse worker pool
+// (see parsepool.go); otherwise pool is nil and everything runs inline.
 type parseCtx struct {
 	c        *mpi.Comm
 	p        Parser
@@ -764,31 +797,88 @@ type parseCtx struct {
 	geoms    []geom.Geometry
 	stats    ReadStats
 	firstErr error
+	pool     *parsePool
+}
+
+// newParseCtx builds the parse context for one collective read, spinning up
+// the worker pool when ParseWorkers asks for one. Callers must pc.close()
+// on every exit path (finish does it on the success path; a deferred close
+// is idempotent and covers errors).
+func newParseCtx(c *mpi.Comm, p Parser, opt ReadOptions, fr Framing, scale float64) *parseCtx {
+	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: scale}
+	if opt.ParseWorkers > 0 {
+		pc.pool = newParsePool(opt.ParseWorkers, p, fr, scale)
+	}
+	return pc
+}
+
+// region routes one whole-record byte run to the parser: inline on the
+// serial path, or copied and sharded into batches for the worker pool. data
+// aliases recycled reader buffers, so the parallel path copies synchronously
+// before returning; the caller may reuse the buffer immediately either way.
+func (pc *parseCtx) region(data []byte, atEOF bool) {
+	if len(data) == 0 {
+		return
+	}
+	if pc.pool == nil {
+		pc.records(data, atEOF)
+		return
+	}
+	// Shard at record boundaries so batches land on several workers; the
+	// trailing piece keeps the region's atEOF disposition.
+	for len(data) > 2*parseChunkTarget {
+		cut := splitRegion(pc.fr, data, parseChunkTarget)
+		if cut >= len(data) {
+			break
+		}
+		pc.submit(data[:cut], false, false)
+		data = data[cut:]
+	}
+	pc.submit(data, atEOF, false)
+}
+
+// rawRecord routes one already-unframed record payload (an EOF-settled
+// tail) through the same ordered pipeline as region, so file order is
+// preserved relative to outstanding batches.
+func (pc *parseCtx) rawRecord(payload []byte) {
+	if pc.pool == nil {
+		pc.one(payload)
+		return
+	}
+	pc.submit(payload, false, true)
 }
 
 // records splits a whole-record byte run into framed records and parses
-// each. atEOF marks a run ending at end-of-file, where the framing's EOF
-// rule settles a trailing unterminated record (text framing accepts it,
+// each inline. atEOF marks a run ending at end-of-file, where the framing's
+// EOF rule settles a trailing unterminated record (text framing accepts it,
 // binary framing reports truncation).
 func (pc *parseCtx) records(data []byte, atEOF bool) {
+	parseRegion(pc.fr, data, atEOF, pc.one, pc.fail)
+}
+
+// parseRegion iterates the framed records of a whole-record region, handing
+// each payload to one and any framing breach to fail. It is the single
+// definition of region decoding, shared by the serial parseCtx and the pool
+// workers so the two paths cannot drift.
+func parseRegion(fr Framing, data []byte, atEOF bool, one func([]byte), fail func(error)) {
 	for len(data) > 0 {
-		payload, framed, ok := pc.fr.next(data)
+		payload, framed, ok := fr.next(data)
 		if !ok {
-			tail, emit, err := pc.fr.eofTail(data)
+			tail, emit, err := fr.eofTail(data)
 			switch {
 			case !atEOF:
-				// Callers hand records() whole-record regions; leftover
+				// Callers hand parseRegion whole-record regions; leftover
 				// away from EOF is a framing invariant breach, not file
 				// truncation.
-				pc.fail(fmt.Errorf("core: internal: %d unframed trailing bytes in record region", len(data)))
+				fail(fmt.Errorf("core: internal: %d unframed trailing bytes in record region", len(data)))
 			case err != nil:
-				pc.fail(err)
+				fail(err)
 			case emit:
-				pc.one(tail)
+				one(tail)
 			}
 			return
 		}
-		pc.one(payload)
+		one(payload)
 		data = data[framed:]
 	}
 }
@@ -817,17 +907,24 @@ func (pc *parseCtx) one(rec []byte) {
 
 // fail records a malformed-record or framing error: counted always,
 // remembered (to fail the collective read) unless SkipErrors is set.
+// Outstanding parallel batches are merged first — they lie earlier in the
+// file, so their errors take first-error precedence, exactly as on the
+// serial path.
 func (pc *parseCtx) fail(err error) {
+	pc.drain()
 	pc.stats.Errors++
 	if !pc.opt.SkipErrors && pc.firstErr == nil {
 		pc.firstErr = err
 	}
 }
 
-// finish settles deferred parse errors collectively: an Allreduce tells
-// every rank whether any rank failed, so all ranks of a collective read
-// agree on the outcome (skipped when SkipErrors makes errors non-fatal).
+// finish joins any outstanding parse batches, stops the workers, and
+// settles deferred parse errors collectively: an Allreduce tells every rank
+// whether any rank failed, so all ranks of a collective read agree on the
+// outcome (skipped when SkipErrors makes errors non-fatal).
 func (pc *parseCtx) finish() ([]geom.Geometry, ReadStats, error) {
+	pc.drain()
+	pc.close()
 	if pc.opt.SkipErrors {
 		return pc.geoms, pc.stats, nil
 	}
@@ -848,10 +945,22 @@ func (pc *parseCtx) finish() ([]geom.Geometry, ReadStats, error) {
 	return pc.geoms, pc.stats, nil
 }
 
+// truncRecord shortens a record for an error message. The cut backs off to
+// a UTF-8 rune boundary so a multi-byte rune is never split in half — a
+// fixed byte cut would embed an invalid sequence in the message (and %q
+// would render a spurious \xNN escape). Binary garbage has no boundaries to
+// respect: after utf8.UTFMax-1 continuation bytes the cut lands wherever.
 func truncRecord(rec []byte) string {
 	const limit = 60
-	if len(rec) > limit {
-		return string(rec[:limit]) + "..."
+	if len(rec) <= limit {
+		return string(rec)
 	}
-	return string(rec)
+	cut := limit
+	for back := 0; back < utf8.UTFMax-1 && cut > 0 && !utf8.RuneStart(rec[cut]); back++ {
+		cut--
+	}
+	if !utf8.RuneStart(rec[cut]) {
+		cut = limit // not UTF-8 at all; any cut is as good as another
+	}
+	return string(rec[:cut]) + "..."
 }

@@ -76,6 +76,34 @@
 // framed record (header included), and a file that ends mid-record fails
 // with a truncation error instead of silently dropping the tail.
 //
+// # Parallel parse workers
+//
+// Within one rank, ReadPartition parses serially by default. Setting
+// ReadOptions.ParseWorkers > 0 fans record parsing out to that many worker
+// goroutines per rank, overlapping parse work with the next block's I/O and
+// the boundary exchange — on a multi-core host this lifts text-ingest
+// throughput, which is parse-bound (see BENCH_ingest.json's worker-scaling
+// rows). Two guarantees hold for any worker count:
+//
+//   - Ordering: the geometry slice each rank returns is identical, order
+//     included, to the serial path. Whole-record regions are sharded into
+//     batches at record boundaries, and results re-assemble in file order.
+//   - Cost accounting: workers never touch the Comm. Each batch's
+//     virtual-time parse cost accumulates off-clock and is charged on the
+//     rank goroutine when the batch joins, so ReadStats.ParseTime totals
+//     match the serial path and parse-error agreement stays collective.
+//
+// The Parser must either implement ParserCloner — WKTParser and WKBParser
+// do, so every worker parses with its own coordinate arena — or be safe for
+// concurrent use:
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		geoms, _, err := vectorio.ReadPartition(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{
+//			ParseWorkers: 4, // per rank; 0 = serial
+//		})
+//		...
+//	})
+//
 // See the examples/ directory for complete programs: quickstart (parallel
 // read), wkbingest (the binary fast path vs text), spatialjoin (the
 // paper's end-to-end exemplar), rangequery (filter-and-refine batch
@@ -168,6 +196,10 @@ type (
 	// Parser converts one file record into a geometry (§4.3's flexible
 	// interface); WKTParser is the included WKT implementation.
 	Parser = core.Parser
+	// ParserCloner is a Parser that can furnish independent per-worker
+	// instances for ReadOptions.ParseWorkers (see "Parallel parse workers"
+	// above).
+	ParserCloner = core.ParserCloner
 	// WKTParser parses newline-delimited WKT records.
 	WKTParser = core.WKTParser
 	// WKBParser parses binary WKB record payloads (use with the
