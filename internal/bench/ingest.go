@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"testing"
@@ -11,6 +12,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/grid"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/pfs"
@@ -47,6 +50,29 @@ type IngestRun struct {
 	MBPerSec      float64 `json:"mb_per_sec"`
 }
 
+// ExchangeRun is one end-to-end read+partition+exchange measurement,
+// comparing the materialized pipeline (ReadPartition, then Exchange) with
+// the streamed one (ReadExchange: batches flow into the exchanger
+// mid-read). Wall-clock real time; the allocation columns come from
+// runtime.MemStats — TotalAlloc is the cumulative bytes allocated by the
+// run, PeakHeap the maximum sampled live-heap growth over the baseline
+// (sampled every couple of milliseconds, so it is an approximation, but
+// the materialized-vs-streamed gap it tracks is far larger than the
+// sampling error).
+type ExchangeRun struct {
+	Dataset      string  `json:"dataset"`
+	Format       string  `json:"format"`
+	Pipeline     string  `json:"pipeline"` // "materialized" or "streamed"
+	Ranks        int     `json:"ranks"`
+	Records      int     `json:"records"`
+	GeomsRecv    int     `json:"geoms_recv"`
+	BytesRead    int64   `json:"bytes_read"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	PeakHeapMB   float64 `json:"peak_heap_mb"`
+}
+
 // IngestReport is the BENCH_ingest.json artifact: the perf trajectory
 // baseline for the ingest hot path. SeedParser pins the numbers measured on
 // the seed parser (PR 1, before the zero-allocation rewrite) so later PRs
@@ -62,6 +88,7 @@ type IngestReport struct {
 	Parser     map[string]ParserSample `json:"parser"`
 	SeedParser map[string]ParserSample `json:"seed_parser"`
 	Ingest     []IngestRun             `json:"ingest"`
+	Exchange   []ExchangeRun           `json:"exchange"`
 }
 
 // seedParserBaseline is the seed (pre-rewrite) scanner measured on the same
@@ -87,6 +114,26 @@ var ingestFixtures = []struct {
 	{"linestring", []byte("LINESTRING (30 10, 10 30, 40 40, 20 15, 35 5, 30 10, 12 8, 44 2)")},
 	{"polygon", []byte("POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))")},
 	{"multipolygon", []byte("MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), ((15 5, 40 10, 10 20, 5 10, 15 5)))")},
+}
+
+// ingestFixture builds the shared end-to-end fixture — the lakes layer at
+// cfg.scale(base) in the requested encoding, with matching read options
+// and parser constructor — so the ingest and exchange rows always measure
+// the same configuration.
+func ingestFixture(cfg Config, enc datagen.Encoding, base float64) (*pfs.File, datagen.Spec, core.ReadOptions, func() core.Parser, error) {
+	spec := datagen.Lakes()
+	scale := cfg.scale(base)
+	f, err := datasetEncoded(spec, scale, enc, pfs.RogerGPFS(), 0, 0)
+	if err != nil {
+		return nil, spec, core.ReadOptions{}, nil, err
+	}
+	opt := core.ReadOptions{BlockSize: realBytes(256<<20, scale)}
+	parser := func() core.Parser { return core.NewWKTParser() }
+	if enc == datagen.EncodingWKB {
+		opt.Framing = core.LengthPrefixed()
+		parser = func() core.Parser { return core.NewWKBParser() }
+	}
+	return f, spec, opt, parser, nil
 }
 
 // measure runs one parse benchmark and converts it to a sample.
@@ -161,24 +208,152 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 			}
 		}
 	}
+
+	// End-to-end read+exchange: the streamed pipeline against the
+	// materialized one, same dataset, same grid, alloc columns included —
+	// the tentpole's memory claim, measured.
+	for _, enc := range []datagen.Encoding{datagen.EncodingWKT, datagen.EncodingWKB} {
+		for _, streamed := range []bool{false, true} {
+			run, err := exchangeOnce(cfg, 4, enc, streamed)
+			if err != nil {
+				return nil, err
+			}
+			rep.Exchange = append(rep.Exchange, run)
+		}
+	}
 	return rep, nil
 }
 
+// exchangeOnce measures one read+partition+exchange pass, wall-clock, with
+// allocation tracking. Both pipelines use the same pre-built grid (the
+// generator draws in the world envelope, so it is known a priori), so the
+// comparison isolates materialize-then-exchange vs stream-into-exchange.
+// The pass runs three times and the run with the smallest sampled peak is
+// reported: GC scheduling only ever inflates the live-heap peak, so the
+// minimum is the closest observation of the pipeline's true requirement.
+func exchangeOnce(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (ExchangeRun, error) {
+	best := ExchangeRun{PeakHeapMB: math.Inf(1)}
+	for rep := 0; rep < 3; rep++ {
+		run, err := exchangePass(cfg, ranks, enc, streamed)
+		if err != nil {
+			return ExchangeRun{}, err
+		}
+		if run.PeakHeapMB < best.PeakHeapMB {
+			best = run
+		}
+	}
+	return best, nil
+}
+
+func exchangePass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (ExchangeRun, error) {
+	f, spec, opt, parser, err := ingestFixture(cfg, enc, 256)
+	if err != nil {
+		return ExchangeRun{}, err
+	}
+	world := geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+
+	// Live-heap sampler: max HeapAlloc growth over the post-GC baseline.
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak uint64
+	stop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		records   int
+		geomsRecv int
+		bytesRead int64
+	)
+	start := time.Now()
+	err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		mf := mpiio.Open(c, f, mpiio.Hints{})
+		g, err := grid.New(world, 16, 16)
+		if err != nil {
+			return err
+		}
+		pt := &core.Partitioner{Grid: g, DirectGrid: true}
+		var cells map[int][]geom.Geometry
+		var rstats core.ReadStats
+		var estats core.ExchangeStats
+		if streamed {
+			cells, rstats, estats, err = core.ReadExchange(c, mf, parser(), opt, pt)
+		} else {
+			var local []geom.Geometry
+			local, rstats, err = core.ReadPartition(c, mf, parser(), opt)
+			if err == nil {
+				cells, estats, err = pt.Exchange(c, local)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		_ = cells
+		mu.Lock()
+		records += rstats.Records
+		geomsRecv += estats.GeomsRecv
+		bytesRead += rstats.BytesRead
+		mu.Unlock()
+		return nil
+	})
+	wall := time.Since(start).Seconds()
+	close(stop)
+	samplerWG.Wait()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if err != nil {
+		return ExchangeRun{}, fmt.Errorf("exchange %s streamed=%v: %w", enc, streamed, err)
+	}
+	pipeline := "materialized"
+	if streamed {
+		pipeline = "streamed"
+	}
+	peakGrowth := float64(0)
+	if peak > base.HeapAlloc {
+		peakGrowth = float64(peak-base.HeapAlloc) / 1e6
+	}
+	return ExchangeRun{
+		Dataset:      spec.Name,
+		Format:       enc.String(),
+		Pipeline:     pipeline,
+		Ranks:        ranks,
+		Records:      records,
+		GeomsRecv:    geomsRecv,
+		BytesRead:    bytesRead,
+		WallSeconds:  wall,
+		MBPerSec:     float64(bytesRead) / wall / 1e6,
+		TotalAllocMB: float64(end.TotalAlloc-base.TotalAlloc) / 1e6,
+		PeakHeapMB:   peakGrowth,
+	}, nil
+}
+
 func ingestOnce(cfg Config, ranks int, enc datagen.Encoding, workers int) (IngestRun, error) {
-	spec := datagen.Lakes()
 	// Lakes at 9 GB full scale; divide down to ~18 MB of real bytes so the
 	// measurement stays sub-second but spans many blocks per rank.
-	scale := cfg.scale(512)
-	f, err := datasetEncoded(spec, scale, enc, pfs.RogerGPFS(), 0, 0)
+	f, spec, opt, parser, err := ingestFixture(cfg, enc, 512)
 	if err != nil {
 		return IngestRun{}, err
 	}
-	opt := core.ReadOptions{BlockSize: realBytes(256<<20, scale), ParseWorkers: workers}
-	parser := func() core.Parser { return core.NewWKTParser() }
-	if enc == datagen.EncodingWKB {
-		opt.Framing = core.LengthPrefixed()
-		parser = func() core.Parser { return core.NewWKBParser() }
-	}
+	opt.ParseWorkers = workers
 	var (
 		mu        sync.Mutex
 		records   int
@@ -231,7 +406,10 @@ func (r *IngestReport) IngestTable() *Table {
 		Title:  "Ingest hot path, wall-clock (real time, not virtual)",
 		Header: []string{"Fixture", "ns/op", "MB/s", "allocs/op", "seed allocs/op"},
 		Notes: "parser rows are per-record microbenchmarks (-wkb = binary decoder); ingest rows are end-to-end " +
-			"ReadPartition (wN = ParseWorkers per rank; worker rows only beat w0 when the host has cores beyond the rank count — see num_cpu)",
+			"ReadPartition (wN = ParseWorkers per rank; worker rows only beat w0 when the host has cores beyond the rank count — see num_cpu). " +
+			"Since PR 4 the scanners compute each geometry's MBR at parse time (envelope-at-parse), so parser and ingest rows " +
+			"include work that pre-PR-4 rows deferred to the partitioning phase — read+exchange totals are unchanged (see the " +
+			"exchange rows); read-only rows are not comparable across that boundary.",
 	}
 	for _, fx := range ingestFixtures {
 		for _, key := range []string{fx.key, fx.key + "-wkb"} {
@@ -259,6 +437,15 @@ func (r *IngestReport) IngestTable() *Table {
 			fmt.Sprintf("%.1f", run.MBPerSec),
 			fmt.Sprintf("%.2fs wall", run.WallSeconds),
 			"-",
+		})
+	}
+	for _, run := range r.Exchange {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("exchange[%s/%s %s]", run.Dataset, run.Format, run.Pipeline),
+			fmt.Sprintf("%.0f rec", float64(run.Records)),
+			fmt.Sprintf("%.1f", run.MBPerSec),
+			fmt.Sprintf("peak %.1f MB", run.PeakHeapMB),
+			fmt.Sprintf("alloc %.0f MB", run.TotalAllocMB),
 		})
 	}
 	return t

@@ -187,6 +187,7 @@ func (pc *parseCtx) mergeOldest() {
 		pc.stats.ParseTime += b.cost
 	}
 	pl.free = append(pl.free, b)
+	pc.maybeFlush()
 }
 
 // drain merges every outstanding batch, in file order.

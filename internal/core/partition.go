@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
 	"repro/internal/wkb"
 )
 
@@ -115,103 +116,267 @@ func (pt *Partitioner) mapping() func(cell, size int) int {
 // Exchange projects local geometries to grid cells and performs the global
 // exchange. It returns this rank's cells: cell id -> geometries overlapping
 // that cell (from every rank). All ranks must call it collectively.
+//
+// Exchange is the materialized composition over the streaming core: one
+// Stream (in deferred-serialization mode), one Add with the whole batch,
+// one Finish. Deferred mode keeps the historical memory shape: the caller
+// already holds every geometry, so Add records placements only, and Finish
+// serializes one sliding-window phase at a time into per-destination
+// buffers recycled across phases — the projection charge lands at Add and
+// the serialization charge inside each Finish phase, exactly where the
+// pre-streaming monolith placed them, so the virtual-time trajectory,
+// stats, and per-cell output order are identical by construction. One
+// deliberate behavior change: a geometry wholly outside the grid envelope
+// (only possible with a caller-built grid smaller than the data) used to
+// be silently dropped by the R-tree cell lookup; it now clamps to the
+// border cells, like the arithmetic lookup always did.
 func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]geom.Geometry, ExchangeStats, error) {
-	var stats ExchangeStats
-	size := c.Size()
-	scale := c.Config().Scale()
-	mapping := pt.mapping()
+	ex, err := pt.stream(c, true)
+	if err != nil {
+		return nil, ExchangeStats{}, err
+	}
+	ex.placements = make([]placement, 0, len(local))
+	if err := ex.Add(local); err != nil {
+		return nil, ex.stats, err
+	}
+	return ex.Finish()
+}
+
+// Exchanger is the streaming face of the Partitioner: it accepts geometry
+// batches mid-read (a ReadStream sink can feed Add directly), projecting
+// and serializing each batch as it arrives, and runs the sliding-window
+// exchange protocol when Finish is called. Cell assignment and frame
+// encoding thereby overlap the parallel read instead of following it, and
+// the input geometries are never retained — once Add returns, a batch's
+// only footprint is its compact serialized frames.
+//
+// Add is rank-local and may be called any number of times (including zero)
+// with any batch sizes; ranks need not agree on the call count. Stream and
+// Finish are collective. Virtual-time accounting follows the parse-pool
+// precedent: projection cost is charged when Add runs, while serialization
+// cost accumulates off-clock per window phase and is charged inside Finish
+// — the fixed program point where the historical monolithic Exchange
+// charged it — so the materialized composition replays the exact
+// historical clock trajectory.
+type Exchanger struct {
+	c         *mpi.Comm
+	mapping   func(cell, size int) int
+	grid      *grid.Grid
+	cellIndex *grid.CellIndex
+	scale     float64
+	size      int
+	numCells  int
+	window    int
+	phases    int
+
+	// send stages serialized exchange frames as send[phase][dst]
+	// (streaming mode). A placement's phase is cell/window — deterministic
+	// at Add time — so frames land directly in their phase's buffer in
+	// arrival order, which is exactly the per-phase filtered placement
+	// order of deferred mode. Rows are allocated on first use (a
+	// fine-grained sliding window has many phases, most of them possibly
+	// empty on a given rank) and released as Finish ships them. Staging
+	// frames across all phases trades the recycle-one-phase-buffer memory
+	// bound for overlap: serialized frames are compact, and the batch's
+	// geometries are droppable the moment Add returns.
+	send [][][]byte
+	// serCost accumulates each phase's deferred per-geometry serialization
+	// charge (the per-byte part is derived from buffer sizes at Finish).
+	serCost []float64
+
+	// lateSer switches Add to record placements instead of serialized
+	// frames; Finish then serializes one window phase at a time into
+	// buffers recycled across phases. This is the materialized Exchange
+	// mode: the caller retains every geometry anyway, so early
+	// serialization would only add a full frame copy of the dataset on top
+	// — deferred mode preserves the sliding window's peak-memory bound.
+	lateSer    bool
+	placements []placement
+
+	stats ExchangeStats
+	done  bool
+}
+
+// placement is one deferred (cell, geometry) pair of the materialized
+// exchange mode.
+type placement struct {
+	cell int
+	g    geom.Geometry
+}
+
+// Stream validates the grid and opens a streaming exchange. All ranks must
+// call it collectively with identical Partitioner configuration (they see
+// the same grid, so the validation fails all ranks identically — deferring
+// to the per-frame guard would abort one rank mid-collective and strand
+// its peers in the count exchange).
+func (pt *Partitioner) Stream(c *mpi.Comm) (*Exchanger, error) {
+	return pt.stream(c, false)
+}
+
+// stream opens the exchange in streaming (serialize-at-Add) or deferred
+// (serialize-at-Finish, for the materialized Exchange wrapper) mode.
+func (pt *Partitioner) stream(c *mpi.Comm, lateSer bool) (*Exchanger, error) {
 	numCells := pt.Grid.NumCells()
-	// Cell ids travel in a u32 frame header. Every rank sees the same grid,
-	// so validate once here and fail all ranks identically — deferring to
-	// the per-frame guard would abort only the rank holding an oversized
-	// cell id, mid-collective, and strand its peers in the count exchange.
+	// Cell ids travel in a u32 frame header.
 	if int64(numCells-1) > math.MaxUint32 {
-		return nil, stats, fmt.Errorf("core: grid has %d cells; exchange frame headers address at most 2^32", numCells)
+		return nil, fmt.Errorf("core: grid has %d cells; exchange frame headers address at most 2^32", numCells)
 	}
-
-	var cellIndex *grid.CellIndex
+	ex := &Exchanger{
+		c:        c,
+		mapping:  pt.mapping(),
+		grid:     pt.Grid,
+		scale:    c.Config().Scale(),
+		size:     c.Size(),
+		numCells: numCells,
+		lateSer:  lateSer,
+	}
 	if !pt.DirectGrid {
-		cellIndex = grid.NewCellIndex(pt.Grid)
+		ex.cellIndex = grid.NewCellIndex(pt.Grid)
 	}
+	ex.window = pt.WindowCells
+	if ex.window <= 0 {
+		ex.window = numCells
+	}
+	ex.phases = (numCells + ex.window - 1) / ex.window
+	ex.stats.Phases = ex.phases
+	if !lateSer {
+		ex.send = make([][][]byte, ex.phases)
+		ex.serCost = make([]float64, ex.phases)
+	}
+	return ex, nil
+}
 
-	// Phase 0: project local geometries to cells.
-	t0 := c.Now()
-	type placement struct {
-		cell int
-		g    geom.Geometry
+// Add projects one geometry batch onto grid cells and serializes the
+// placements into their window phases' send buffers. It is rank-local —
+// no communication — and the batch is not retained: geometries with empty
+// envelopes are dropped, the rest live on as serialized frames. Thanks to
+// envelope-at-parse, freshly parsed batches project without rescanning a
+// single coordinate.
+func (ex *Exchanger) Add(batch []geom.Geometry) error {
+	if ex.done {
+		return fmt.Errorf("core: Exchanger.Add after Finish")
 	}
-	placements := make([]placement, 0, len(local))
-	for _, g := range local {
+	c := ex.c
+	t0 := c.Now()
+	for _, g := range batch {
 		env := g.Envelope()
 		if env.IsEmpty() {
 			continue
 		}
 		var cells []int
-		if cellIndex != nil {
+		if ex.cellIndex != nil {
 			// The paper's mechanism: query the R-tree of cell boundaries
 			// with the geometry's MBR.
-			cells = cellIndex.CellsFor(env)
-			c.Compute(costmodel.IndexQuery(numCells, len(cells)) * scale)
+			cells = ex.cellIndex.CellsFor(env)
+			c.Compute(costmodel.IndexQuery(ex.numCells, len(cells)) * ex.scale)
 		} else {
-			cells = pt.Grid.CellsFor(env)
-			c.Compute(costmodel.GridProjectPerCell * float64(len(cells)) * scale)
+			cells = ex.grid.CellsFor(env)
+			c.Compute(costmodel.GridProjectPerCell * float64(len(cells)) * ex.scale)
+		}
+		if len(cells) == 0 {
+			// The R-tree of cell boundaries matches nothing for a geometry
+			// lying wholly outside the grid envelope (reachable only with a
+			// caller-supplied envelope smaller than the data; a grid derived
+			// from the data always covers it). Dropping it would silently
+			// lose data, so fall back to the arithmetic lookup, which clamps
+			// outside geometries to the border cells.
+			cells = ex.grid.CellsFor(env)
+			c.Compute(costmodel.GridProjectPerCell * float64(len(cells)) * ex.scale)
+		}
+		ex.stats.Replicas += len(cells)
+		if ex.lateSer {
+			for _, cell := range cells {
+				ex.placements = append(ex.placements, placement{cell: cell, g: g})
+			}
+			continue
 		}
 		for _, cell := range cells {
-			placements = append(placements, placement{cell: cell, g: g})
+			ph := cell / ex.window
+			dst := ex.mapping(cell, ex.size)
+			row := ex.send[ph]
+			if row == nil {
+				row = make([][]byte, ex.size)
+				ex.send[ph] = row
+			}
+			buf, err := appendExchangeFrame(row[dst], cell, g)
+			if err != nil {
+				return err
+			}
+			row[dst] = buf
+			ex.serCost[ph] += costmodel.SerializeGeomCost(g.GeomType())
 		}
 	}
-	stats.Replicas = len(placements)
-	stats.ProjectTime = c.Now() - t0
+	ex.stats.ProjectTime += c.Now() - t0
+	return nil
+}
 
-	window := pt.WindowCells
-	if window <= 0 {
-		window = numCells
+// Finish runs the two-round exchange protocol over the staged frames, one
+// sliding-window phase at a time, and returns this rank's cells: cell id
+// -> geometries overlapping that cell (from every rank), in deterministic
+// order (phase, then source rank, then the source's addition order). All
+// ranks must call it collectively, once.
+func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
+	if ex.done {
+		return nil, ex.stats, fmt.Errorf("core: Exchanger.Finish called twice")
 	}
-	phases := (numCells + window - 1) / window
-	stats.Phases = phases
-
+	ex.done = true
+	c := ex.c
 	result := make(map[int][]geom.Geometry)
 	rank := c.Rank()
 
-	// Per-destination send buffers and count-exchange scratch are recycled
-	// across window phases (the isend/SendRecv layer copies payloads before
-	// returning, so the previous phase never retains them): a sliding-window
-	// partitioning runs many phases, and reallocating size buffers plus one
-	// wkb.Encode per geometry every phase was thrashing the allocator.
-	send := make([][]byte, size)
-	counts := make([]byte, size*8)
-	recvSizes := make([]int, size)
+	counts := make([]byte, ex.size*8)
+	recvSizes := make([]int, ex.size)
+	// Streaming mode: emptyRow stands in for phases this rank staged
+	// nothing into. Deferred mode: lateSend is the one per-destination
+	// buffer set, serialized into afresh and recycled every phase — the
+	// sliding window's memory bound.
+	var emptyRow, lateSend [][]byte
+	if ex.lateSer {
+		lateSend = make([][]byte, ex.size)
+	} else {
+		emptyRow = make([][]byte, ex.size)
+	}
 
-	for ph := 0; ph < phases; ph++ {
-		cellLo := ph * window
-		cellHi := min(cellLo+window, numCells)
-
-		// Serialize this window's placements per destination rank:
-		// frames of [cell uint32][len uint32][wkb payload], encoded
-		// directly into the recycled buffers.
+	for ph := 0; ph < ex.phases; ph++ {
+		// Serialization happens (deferred mode) or is charged (streaming
+		// mode, where Add already did the work off-clock) at this fixed
+		// program point — where the pre-streaming monolithic Exchange did
+		// both.
 		t1 := c.Now()
-		for i := range send {
-			send[i] = send[i][:0]
-		}
+		var send [][]byte
 		var serGeomCost float64
-		for _, pl := range placements {
-			if pl.cell < cellLo || pl.cell >= cellHi {
-				continue
+		if ex.lateSer {
+			cellLo := ph * ex.window
+			cellHi := min(cellLo+ex.window, ex.numCells)
+			for i := range lateSend {
+				lateSend[i] = lateSend[i][:0]
 			}
-			dst := mapping(pl.cell, size)
-			buf, err := appendExchangeFrame(send[dst], pl.cell, pl.g)
-			if err != nil {
-				return nil, stats, err
+			for _, pl := range ex.placements {
+				if pl.cell < cellLo || pl.cell >= cellHi {
+					continue
+				}
+				dst := ex.mapping(pl.cell, ex.size)
+				buf, err := appendExchangeFrame(lateSend[dst], pl.cell, pl.g)
+				if err != nil {
+					return nil, ex.stats, err
+				}
+				lateSend[dst] = buf
+				serGeomCost += costmodel.SerializeGeomCost(pl.g.GeomType())
 			}
-			send[dst] = buf
-			serGeomCost += costmodel.SerializeGeomCost(pl.g.GeomType())
+			send = lateSend
+		} else {
+			send = ex.send[ph]
+			if send == nil {
+				send = emptyRow
+			}
+			serGeomCost = ex.serCost[ph]
 		}
 		var sentBytes int64
 		for _, b := range send {
 			sentBytes += int64(len(b))
 		}
-		c.Compute((costmodel.SerializePerByte*float64(sentBytes) + serGeomCost) * scale)
-		stats.BytesSent += sentBytes
+		c.Compute((costmodel.SerializePerByte*float64(sentBytes) + serGeomCost) * ex.scale)
+		ex.stats.BytesSent += sentBytes
 
 		// Round 1: exchange buffer sizes (MPI_Alltoall), so every rank can
 		// build the receive-side count and displacement arrays.
@@ -220,40 +385,71 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 		}
 		gotCounts, err := c.AlltoallFixed(counts, 8)
 		if err != nil {
-			return nil, stats, fmt.Errorf("core: count exchange: %w", err)
+			return nil, ex.stats, fmt.Errorf("core: count exchange: %w", err)
 		}
-		for src := 0; src < size; src++ {
+		for src := 0; src < ex.size; src++ {
 			recvSizes[src] = int(binary.LittleEndian.Uint64(gotCounts[src*8:]))
 		}
 
 		// Round 2: exchange the coordinate payload (MPI_Alltoallv).
 		parts, err := c.Alltoallv(send, recvSizes)
 		if err != nil {
-			return nil, stats, fmt.Errorf("core: payload exchange: %w", err)
+			return nil, ex.stats, fmt.Errorf("core: payload exchange: %w", err)
+		}
+
+		// This phase's staged frames are dead the moment the payload round
+		// returns; in streaming mode release the row so a long
+		// sliding-window run frees send buffers as it goes (deferred mode
+		// recycles lateSend instead).
+		if !ex.lateSer {
+			ex.send[ph] = nil
 		}
 
 		// Deserialize into owned cells.
 		for _, part := range parts {
-			c.Compute(costmodel.DeserializePerByte * float64(len(part)) * scale)
+			c.Compute(costmodel.DeserializePerByte * float64(len(part)) * ex.scale)
 			var deserGeomCost float64
 			for len(part) > 0 {
 				cell, g, rest, err := decodeExchangeFrame(part)
 				if err != nil {
-					return nil, stats, err
+					return nil, ex.stats, err
 				}
-				if own := mapping(cell, size); own != rank {
-					return nil, stats, fmt.Errorf("core: received cell %d owned by rank %d on rank %d", cell, own, rank)
+				if own := ex.mapping(cell, ex.size); own != rank {
+					return nil, ex.stats, fmt.Errorf("core: received cell %d owned by rank %d on rank %d", cell, own, rank)
 				}
 				result[cell] = append(result[cell], g)
-				stats.GeomsRecv++
+				ex.stats.GeomsRecv++
 				deserGeomCost += costmodel.DeserializeGeomCost(g.GeomType())
 				part = rest
 			}
-			c.Compute(deserGeomCost * scale)
+			c.Compute(deserGeomCost * ex.scale)
 		}
-		stats.CommTime += c.Now() - t1
+		ex.stats.CommTime += c.Now() - t1
 	}
-	return result, stats, nil
+	ex.placements = nil
+	return result, ex.stats, nil
+}
+
+// ReadExchange is the one-pass streaming pipeline: a parallel file read
+// feeding the spatial exchange batch by batch, so cell assignment and
+// frame encoding overlap I/O, boundary repair, and parsing, and the full
+// local geometry slice never exists. It requires the Partitioner's grid up
+// front (a caller-supplied global envelope); when the envelope is unknown,
+// read first and use the two-pass Allreduce path instead (see
+// spatial.JoinFiles). All ranks must call it collectively.
+func ReadExchange(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, pt *Partitioner) (map[int][]geom.Geometry, ReadStats, ExchangeStats, error) {
+	ex, err := pt.Stream(c)
+	if err != nil {
+		return nil, ReadStats{}, ExchangeStats{}, err
+	}
+	rstats, err := ReadStream(c, f, p, opt, ex.Add)
+	if err != nil {
+		// The read settled its error collectively: every rank abandons the
+		// exchange here, so nobody is stranded in Finish's collectives.
+		return nil, rstats, ex.stats, err
+	}
+	cells, estats, err := ex.Finish()
+	return cells, rstats, estats, err
 }
 
 // LocalEnvelope unions the MBRs of a geometry batch — each rank's input to

@@ -38,6 +38,10 @@ var ErrGeometryTooLarge = errors.New("core: record exceeds MaxGeomSize halo; inc
 // collective ReadPartition; the failing rank returns the underlying error.
 var ErrRemoteParse = errors.New("core: parse failure on another rank")
 
+// ErrRemoteSink reports that another rank's ReadStream sink returned an
+// error; the failing rank returns the sink's error.
+var ErrRemoteSink = errors.New("core: sink failure on another rank")
+
 // ReadOptions configures ReadPartition.
 type ReadOptions struct {
 	// BlockSize is the bytes each process reads per iteration (real bytes;
@@ -65,6 +69,10 @@ type ReadOptions struct {
 	Delimiter byte
 	// SkipErrors counts malformed records instead of failing.
 	SkipErrors bool
+	// StreamBatch bounds how many geometries accumulate before ReadStream
+	// hands a batch to its sink. Zero defaults to 256. ReadPartition
+	// ignores it.
+	StreamBatch int
 	// ParseWorkers fans record parsing out to this many per-rank worker
 	// goroutines, so a multi-core host overlaps parsing with the next
 	// block's I/O and the boundary exchange. 0 (the default) parses
@@ -114,6 +122,47 @@ type ReadStats struct {
 // through the ranks; see readMessageChain and the overlap phase chain for
 // how each strategy does it.
 func ReadPartition(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions) ([]geom.Geometry, ReadStats, error) {
+	return readCore(c, f, p, opt, nil)
+}
+
+// ReadStream is the streaming variant of ReadPartition: instead of
+// materializing every geometry, it hands the sink bounded batches —
+// exactly ReadOptions.StreamBatch geometries each, except a final partial
+// batch — as regions finish parsing, so a downstream consumer — the
+// streaming Exchanger, an indexer, a writer — overlaps its work with the
+// read instead of following it, and the rank never holds more than one
+// batch plus the in-flight parse window.
+//
+// The stream is deterministic: batches arrive in file order, batch
+// boundaries are a pure function of the geometry stream (ParseWorkers does
+// not change them), and their concatenation is byte-for-byte the slice
+// ReadPartition would return. The
+// batch slice is only valid during the sink call (it is recycled for the
+// next batch); the geometries it holds remain valid indefinitely. The sink
+// runs on the rank goroutine and may use the Comm — but any collective it
+// issues must be collective across ranks, and batch boundaries are not:
+// ranks see different batch counts, so collectives belong in the code
+// around ReadStream, not in the sink.
+//
+// A sink error stops further deliveries but not the read: the rank keeps
+// participating in the collective read structure, and the error is settled
+// at the end alongside parse errors — ReadStream always finishes with one
+// error-agreement Allreduce (even under SkipErrors, which silences parse
+// errors but not sink errors), so every rank of the collective call agrees
+// on the outcome. On any error, the sink may have observed only a prefix
+// of the stream. All ranks must call ReadStream collectively.
+func ReadStream(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, sink func(batch []geom.Geometry) error) (ReadStats, error) {
+	if sink == nil {
+		return ReadStats{}, fmt.Errorf("core: ReadStream requires a sink")
+	}
+	_, stats, err := readCore(c, f, p, opt, sink)
+	return stats, err
+}
+
+// readCore is the single read/boundary-repair engine behind ReadPartition
+// (nil sink: geometries accumulate and are returned) and ReadStream
+// (non-nil sink: geometries flow out in pooled batches).
+func readCore(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
 	if opt.Delimiter == 0 {
 		opt.Delimiter = '\n'
 	}
@@ -134,12 +183,12 @@ func ReadPartition(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions) ([]geo
 		opt.MaxGeomSize = blockSize
 	}
 	if opt.Strategy == Overlap {
-		return readOverlap(c, f, p, opt, fr, blockSize)
+		return readOverlap(c, f, p, opt, fr, blockSize, sink)
 	}
 	if fr.selfSync() {
-		return readMessage(c, f, p, opt, fr, blockSize)
+		return readMessage(c, f, p, opt, fr, blockSize, sink)
 	}
-	return readMessageChain(c, f, p, opt, fr, blockSize)
+	return readMessageChain(c, f, p, opt, fr, blockSize, sink)
 }
 
 // readArena holds one rank's reusable buffers for ReadPartition. Every
@@ -247,8 +296,8 @@ func (ar *readArena) appendFragsReversed(dst []byte) []byte {
 // precisely because the framing is self-synchronizing: a rank finds its own
 // trailing fragment without knowing the stream phase at its block's first
 // byte.
-func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale())
+func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), sink)
 	defer pc.close()
 	n := c.Size()
 	rank := c.Rank()
@@ -428,8 +477,8 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 // world-trailing fragment as its next-iteration carry. The terminal rank
 // owns end-of-file: nothing flows past it, and leftover bytes there are
 // settled by the framing's EOF rule (for binary records, truncation).
-func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale())
+func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), sink)
 	defer pc.close()
 	n := c.Size()
 	rank := c.Rank()
@@ -635,8 +684,8 @@ func (ar *readArena) recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
 // is unchanged: the halo still makes every owned record fully visible with
 // zero data bytes exchanged; the token is 8 bytes against MaxGeomSize of
 // redundant read per block.
-func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64) ([]geom.Geometry, ReadStats, error) {
-	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale())
+func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), sink)
 	defer pc.close()
 	n := int64(c.Size())
 	rank := int64(c.Rank())
@@ -798,18 +847,82 @@ type parseCtx struct {
 	stats    ReadStats
 	firstErr error
 	pool     *parsePool
+
+	// Streaming mode (ReadStream): geoms doubles as the pooled batch
+	// accumulator, flushed to sink whenever it reaches batchTarget. A sink
+	// error (or a fatal parse error) stops deliveries; the read itself
+	// continues so the collective structure stays intact, and sinkErr is
+	// settled in finish's agreement Allreduce.
+	sink        func([]geom.Geometry) error
+	batchTarget int
+	sinkErr     error
 }
+
+// defaultStreamBatch is the ReadStream batch bound when
+// ReadOptions.StreamBatch is zero.
+const defaultStreamBatch = 256
 
 // newParseCtx builds the parse context for one collective read, spinning up
 // the worker pool when ParseWorkers asks for one. Callers must pc.close()
 // on every exit path (finish does it on the success path; a deferred close
 // is idempotent and covers errors).
-func newParseCtx(c *mpi.Comm, p Parser, opt ReadOptions, fr Framing, scale float64) *parseCtx {
-	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: scale}
+func newParseCtx(c *mpi.Comm, p Parser, opt ReadOptions, fr Framing, scale float64, sink func([]geom.Geometry) error) *parseCtx {
+	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: scale, sink: sink}
+	if sink != nil {
+		pc.batchTarget = opt.StreamBatch
+		if pc.batchTarget <= 0 {
+			pc.batchTarget = defaultStreamBatch
+		}
+	}
 	if opt.ParseWorkers > 0 {
 		pc.pool = newParsePool(opt.ParseWorkers, p, fr, scale)
 	}
 	return pc
+}
+
+// emit hands one bounded batch to the sink — unless an error has already
+// doomed the read, in which case the rest of the stream is silently
+// dropped: the rank still finishes its iterations for collectivity, and
+// dropping keeps memory bounded.
+func (pc *parseCtx) emit(batch []geom.Geometry) {
+	if pc.sinkErr != nil || pc.firstErr != nil {
+		return
+	}
+	if err := pc.sink(batch); err != nil {
+		pc.sinkErr = err
+	}
+}
+
+// deliver flushes whatever remains in the accumulator as the stream's
+// final (partial) batch.
+func (pc *parseCtx) deliver() {
+	if pc.sink == nil {
+		return
+	}
+	if len(pc.geoms) > 0 {
+		pc.emit(pc.geoms)
+	}
+	pc.geoms = pc.geoms[:0]
+}
+
+// maybeFlush emits full batches once the accumulator reaches the bound,
+// keeping any remainder buffered. Exact batchTarget-sized slices make the
+// batch boundaries a pure function of the geometry stream — identical for
+// any ParseWorkers setting, since the stream itself is — and the sink
+// calls happen at the deterministic merge points (after each inline
+// record, after each worker-batch join), like every other clock-visible
+// event on the rank goroutine.
+func (pc *parseCtx) maybeFlush() {
+	if pc.sink == nil || len(pc.geoms) < pc.batchTarget {
+		return
+	}
+	off := 0
+	for len(pc.geoms)-off >= pc.batchTarget {
+		pc.emit(pc.geoms[off : off+pc.batchTarget])
+		off += pc.batchTarget
+	}
+	rem := copy(pc.geoms, pc.geoms[off:])
+	pc.geoms = pc.geoms[:rem]
 }
 
 // region routes one whole-record byte run to the parser: inline on the
@@ -903,6 +1016,7 @@ func (pc *parseCtx) one(rec []byte) {
 	pc.stats.ParseTime += pc.c.Now() - t0
 	pc.stats.Records++
 	pc.geoms = append(pc.geoms, g)
+	pc.maybeFlush()
 }
 
 // fail records a malformed-record or framing error: counted always,
@@ -918,29 +1032,47 @@ func (pc *parseCtx) fail(err error) {
 	}
 }
 
-// finish joins any outstanding parse batches, stops the workers, and
-// settles deferred parse errors collectively: an Allreduce tells every rank
-// whether any rank failed, so all ranks of a collective read agree on the
-// outcome (skipped when SkipErrors makes errors non-fatal).
+// finish joins any outstanding parse batches, stops the workers, delivers
+// the final partial batch (streaming mode), and settles deferred errors
+// collectively: one two-flag Allreduce — parse failures and sink failures
+// travel separately, because SkipErrors silences the former but never the
+// latter — tells every rank whether any rank failed, so all ranks of a
+// collective read agree on the outcome. The local error wins the report
+// (it is the concrete one); a clean rank learns of remote failures through
+// the flags. The agreement is skipped only for a materialized read under
+// SkipErrors, where nothing can be fatal (streaming reads always agree:
+// their sink can fail regardless). The identical agreement structure on
+// both paths means ReadPartition and a collecting-sink ReadStream share
+// the exact virtual-time trajectory.
 func (pc *parseCtx) finish() ([]geom.Geometry, ReadStats, error) {
 	pc.drain()
 	pc.close()
-	if pc.opt.SkipErrors {
+	pc.deliver()
+	if pc.opt.SkipErrors && pc.sink == nil {
 		return pc.geoms, pc.stats, nil
 	}
-	var flag [8]byte
+	var flag [16]byte
 	if pc.firstErr != nil {
-		binary.LittleEndian.PutUint64(flag[:], 1)
+		binary.LittleEndian.PutUint64(flag[0:], 1)
 	}
-	out, err := pc.c.Allreduce(flag[:], 1, mpi.Int64, mpi.OpSumInt64)
+	if pc.sinkErr != nil {
+		binary.LittleEndian.PutUint64(flag[8:], 1)
+	}
+	out, err := pc.c.Allreduce(flag[:], 2, mpi.Int64, mpi.OpSumInt64)
 	if err != nil {
 		return nil, pc.stats, fmt.Errorf("core: error agreement: %w", err)
 	}
-	if failed := int64(binary.LittleEndian.Uint64(out)); failed > 0 {
-		if pc.firstErr != nil {
-			return nil, pc.stats, pc.firstErr
-		}
-		return nil, pc.stats, fmt.Errorf("%w (%d rank(s) affected)", ErrRemoteParse, failed)
+	parseFailed := int64(binary.LittleEndian.Uint64(out[0:]))
+	sinkFailed := int64(binary.LittleEndian.Uint64(out[8:]))
+	switch {
+	case pc.firstErr != nil:
+		return nil, pc.stats, pc.firstErr
+	case pc.sinkErr != nil:
+		return nil, pc.stats, pc.sinkErr
+	case parseFailed > 0:
+		return nil, pc.stats, fmt.Errorf("%w (%d rank(s) affected)", ErrRemoteParse, parseFailed)
+	case sinkFailed > 0:
+		return nil, pc.stats, fmt.Errorf("%w (%d rank(s) affected)", ErrRemoteSink, sinkFailed)
 	}
 	return pc.geoms, pc.stats, nil
 }

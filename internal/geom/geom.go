@@ -8,13 +8,18 @@
 // Geometries are treated as immutable once built: the vertex-bearing types
 // memoize their envelope on first Envelope() call (grid partitioning and
 // the join filter phase ask for the MBR of every geometry, often more than
-// once — without the cache each ask rescans every vertex). Two caveats
-// follow. Mutating Pts, Shell, Holes, Lines or Polys after Envelope() has
-// been called leaves a stale cache. And because the first Envelope() call
-// writes the cache, it is not safe to make that first call concurrently
-// from multiple goroutines — a geometry shared across goroutines should
-// have Envelope() called once before it is shared (in this library every
-// geometry is owned by a single rank, so this never arises internally).
+// once — without the cache each ask rescans every vertex). Geometries
+// produced by the WKT and WKB parsers arrive with the cache already primed
+// (the scanners accumulate the MBR while touching every coordinate anyway
+// — see the PrimeEnvelope methods), so for them Envelope() never scans and
+// never writes. Two caveats remain for literal-constructed geometries.
+// Mutating Pts, Shell, Holes, Lines or Polys after Envelope() has been
+// called (or after PrimeEnvelope) leaves a stale cache. And because the
+// first Envelope() call writes the cache, it is not safe to make that
+// first call concurrently from multiple goroutines — a literal geometry
+// shared across goroutines should have Envelope() called once before it is
+// shared (in this library every geometry is owned by a single rank, so
+// this never arises internally).
 package geom
 
 import (
@@ -85,7 +90,11 @@ func (p Point) NumPoints() int { return 1 }
 // envCache memoizes a geometry's minimum bounding rectangle. The zero
 // value means "not computed yet", so struct-literal construction keeps
 // working and two geometries with equal vertices stay deeply equal until
-// one of them is asked for its envelope.
+// one of them is asked for its envelope. Scanners that touch every
+// coordinate anyway (the WKT and WKB parsers) prime the cache at parse
+// time via the PrimeEnvelope methods, so the first Envelope() call on a
+// freshly parsed geometry is free — and, because the cache is already
+// written, no longer a data race when the geometry crosses goroutines.
 type envCache struct {
 	env Envelope
 	ok  bool
@@ -111,8 +120,13 @@ func (l *LineString) GeomType() Type { return TypeLineString }
 
 // Envelope implements Geometry. The MBR is computed once and cached.
 func (l *LineString) Envelope() Envelope {
-	return l.cache.get(func() Envelope { return envelopeOf(l.Pts) })
+	return l.cache.get(func() Envelope { return EnvelopeOf(l.Pts) })
 }
+
+// PrimeEnvelope seeds the envelope cache with a precomputed MBR. e must
+// equal EnvelopeOf(l.Pts) exactly; it is for parsers that accumulate the
+// MBR while scanning the coordinates anyway.
+func (l *LineString) PrimeEnvelope(e Envelope) { l.cache = envCache{env: e, ok: true} }
 
 // NumPoints implements Geometry.
 func (l *LineString) NumPoints() int { return len(l.Pts) }
@@ -141,8 +155,12 @@ func (p *Polygon) GeomType() Type { return TypePolygon }
 // Envelope implements Geometry (holes lie inside the shell by definition).
 // The MBR is computed once and cached.
 func (p *Polygon) Envelope() Envelope {
-	return p.cache.get(func() Envelope { return envelopeOf(p.Shell) })
+	return p.cache.get(func() Envelope { return EnvelopeOf(p.Shell) })
 }
+
+// PrimeEnvelope seeds the envelope cache with a precomputed MBR. e must
+// equal EnvelopeOf(p.Shell) exactly (holes lie inside the shell).
+func (p *Polygon) PrimeEnvelope(e Envelope) { p.cache = envCache{env: e, ok: true} }
 
 // NumPoints implements Geometry.
 func (p *Polygon) NumPoints() int {
@@ -183,8 +201,12 @@ func (m *MultiPoint) GeomType() Type { return TypeMultiPoint }
 
 // Envelope implements Geometry. The MBR is computed once and cached.
 func (m *MultiPoint) Envelope() Envelope {
-	return m.cache.get(func() Envelope { return envelopeOf(m.Pts) })
+	return m.cache.get(func() Envelope { return EnvelopeOf(m.Pts) })
 }
+
+// PrimeEnvelope seeds the envelope cache with a precomputed MBR. e must
+// equal EnvelopeOf(m.Pts) exactly.
+func (m *MultiPoint) PrimeEnvelope(e Envelope) { m.cache = envCache{env: e, ok: true} }
 
 // NumPoints implements Geometry.
 func (m *MultiPoint) NumPoints() int { return len(m.Pts) }
@@ -210,6 +232,12 @@ func (m *MultiLineString) Envelope() Envelope {
 		return e
 	})
 }
+
+// PrimeEnvelope seeds the envelope cache with a precomputed MBR. e must
+// equal the union of the member envelopes exactly; a parser priming the
+// collection should prime the members too, so the cache state matches a
+// lazily computed one.
+func (m *MultiLineString) PrimeEnvelope(e Envelope) { m.cache = envCache{env: e, ok: true} }
 
 // NumPoints implements Geometry.
 func (m *MultiLineString) NumPoints() int {
@@ -242,6 +270,12 @@ func (m *MultiPolygon) Envelope() Envelope {
 	})
 }
 
+// PrimeEnvelope seeds the envelope cache with a precomputed MBR. e must
+// equal the union of the member envelopes exactly; a parser priming the
+// collection should prime the members too, so the cache state matches a
+// lazily computed one.
+func (m *MultiPolygon) PrimeEnvelope(e Envelope) { m.cache = envCache{env: e, ok: true} }
+
 // NumPoints implements Geometry.
 func (m *MultiPolygon) NumPoints() int {
 	n := 0
@@ -256,12 +290,4 @@ func (m *MultiPolygon) NumPoints() int {
 type Feature struct {
 	Geom     Geometry
 	UserData string
-}
-
-func envelopeOf(pts []Point) Envelope {
-	e := EmptyEnvelope()
-	for _, p := range pts {
-		e = e.ExpandToPoint(p.X, p.Y)
-	}
-	return e
 }

@@ -43,15 +43,11 @@ func (c *Comm) Send(buf []byte, dst, tag int) error {
 	c.msgsSent++
 	if len(buf) <= eagerLimit {
 		// Sender pays only the injection overhead for eager messages; the
-		// payload arrives one transfer time after that.
+		// payload arrives one transfer time after that. The private copy is
+		// staged in the receiving mailbox's slab — no per-message buffer.
 		c.clock.Advance(c.sendOverhead(dst))
-		data := make([]byte, len(buf))
-		copy(data, buf)
-		m := &message{
-			src: c.rank, tag: tag, data: data,
-			arrival: c.clock.Now() + c.world.cfg.MsgTime(c.rank, dst, len(buf)),
-		}
-		c.world.boxes[dst].enqueue(m)
+		arrival := c.clock.Now() + c.world.cfg.MsgTime(c.rank, dst, len(buf))
+		c.world.boxes[dst].enqueueCopy(buf, c.rank, tag, arrival)
 		return nil
 	}
 	done := make(chan float64, 1)
@@ -96,18 +92,14 @@ func (c *Comm) sendOverhead(dst int) float64 {
 
 // isend transmits buf without ever blocking, regardless of size (a private
 // buffered send used by collective algorithms, as real MPI implementations
-// use nonblocking internals). The payload is copied.
+// use nonblocking internals). The payload is copied into the receiving
+// mailbox's staging slab.
 func (c *Comm) isend(buf []byte, dst, tag int) {
 	c.bytesSent += int64(len(buf))
 	c.msgsSent++
 	c.clock.Advance(c.sendOverhead(dst))
-	data := make([]byte, len(buf))
-	copy(data, buf)
-	m := &message{
-		src: c.rank, tag: tag, data: data,
-		arrival: c.clock.Now() + c.world.cfg.MsgTime(c.rank, dst, len(buf)),
-	}
-	c.world.boxes[dst].enqueue(m)
+	arrival := c.clock.Now() + c.world.cfg.MsgTime(c.rank, dst, len(buf))
+	c.world.boxes[dst].enqueueCopy(buf, c.rank, tag, arrival)
 }
 
 // Recv blocks until a message matching src/tag (AnySource/AnyTag wildcards
@@ -117,22 +109,25 @@ func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
 	if src != AnySource && (src < 0 || src >= c.world.n) {
 		return Status{}, fmt.Errorf("%w: recv from %d of %d", ErrRank, src, c.world.n)
 	}
-	m, err := c.world.boxes[c.rank].await(c.world, src, tag, false)
+	box := c.world.boxes[c.rank]
+	m, err := box.await(c.world, src, tag, false)
 	if err != nil {
 		return Status{}, err
 	}
 	st := Status{Source: m.src, Tag: m.tag, Count: len(m.data)}
-	if len(m.data) > len(buf) {
+	if st.Count > len(buf) {
 		if m.done != nil {
 			m.done <- c.clock.Now() // release the blocked sender regardless
 		}
-		return st, fmt.Errorf("%w: got %d bytes, buffer holds %d", ErrTruncate, len(m.data), len(buf))
+		m.consumed(box)
+		return st, fmt.Errorf("%w: got %d bytes, buffer holds %d", ErrTruncate, st.Count, len(buf))
 	}
 	copy(buf, m.data)
+	m.consumed(box) // payload copied out; its slab chunk is dead
 	if m.done != nil {
 		// Rendezvous: the transfer starts when both sides are ready.
 		start := simtime.Max(m.arrival, c.clock.Now())
-		end := start + c.world.cfg.MsgTime(m.src, c.rank, len(m.data))
+		end := start + c.world.cfg.MsgTime(m.src, c.rank, st.Count)
 		c.clock.AdvanceTo(end)
 		m.done <- end
 	} else {

@@ -80,6 +80,17 @@ type JoinOptions struct {
 	// KeepDuplicates disables reference-point duplicate avoidance (only
 	// used to demonstrate why it is needed).
 	KeepDuplicates bool
+	// Envelope, when non-nil, is a caller-known global data envelope (from
+	// dataset metadata, a previous run, or a catalog). JoinFiles then fixes
+	// the grid up front and runs the one-pass streaming pipeline — reading,
+	// partitioning, and exchanging overlap instead of running as separate
+	// passes, and the full local geometry slices never exist. Nil keeps the
+	// two-pass path: read everything, derive the envelope with the
+	// MPI_UNION Allreduce, then exchange. Geometries outside the supplied
+	// envelope still partition correctly (projections clamp to the border
+	// cells), but a misleadingly small envelope skews the grid, so supply
+	// the real bounds or nil.
+	Envelope *geom.Envelope
 }
 
 func (o JoinOptions) cells() int {
@@ -118,8 +129,6 @@ func squareDims(n int) (cols, rows int) {
 func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdown, error) {
 	var bd Breakdown
 	start := c.Now()
-	scale := c.Config().Scale()
-	pred := opt.predicate()
 
 	// Grid dimensions via the MPI_UNION spatial reduction (§4.2.2).
 	global, err := core.GlobalEnvelope(c, core.LocalEnvelope(localR).Union(core.LocalEnvelope(localS)))
@@ -148,20 +157,24 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 	bd.Partition = statsR.ProjectTime + statsS.ProjectTime
 	bd.Comm = statsR.CommTime + statsS.CommTime
 
+	joinCells(c, g, cellsR, cellsS, opt, &bd)
+	bd.Total = c.Now() - start
+	return bd, nil
+}
+
+// joinCells runs the filter and refine phases of the distributed join over
+// already-partitioned cells, accumulating timings and counters into bd. It
+// is the shared back half of Join (two-pass) and the streamed JoinFiles
+// (one-pass).
+func joinCells(c *mpi.Comm, g *grid.Grid, cellsR, cellsS map[int][]geom.Geometry, opt JoinOptions, bd *Breakdown) {
+	scale := c.Config().Scale()
+	pred := opt.predicate()
+
 	// Filter phase: per-cell R-tree over the R side. One real geometry
 	// stands for `scale` full-size ones, inserted into a tree that is
 	// `scale` times larger.
 	t0 := c.Now()
-	trees := make(map[int]*rtree.Tree[geom.Geometry], len(cellsR))
-	for cell, rs := range cellsR {
-		tr := rtree.New[geom.Geometry]()
-		for _, rg := range rs {
-			c.Compute(costmodel.IndexInsert(virtualCount(tr.Len(), scale)) * scale)
-			tr.Insert(rg.Envelope(), rg)
-			bd.Indexed++
-		}
-		trees[cell] = tr
-	}
+	trees := buildCellTrees(c, cellsR, scale, &bd.Indexed)
 	bd.Index = c.Now() - t0
 
 	// Refine phase: query with each S geometry, test exact intersection.
@@ -197,14 +210,45 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 		}
 	}
 	bd.Refine = c.Now() - t1
-	bd.Total = c.Now() - start
-	return bd, nil
+}
+
+// buildCellTrees builds one R-tree per owned cell, charging the calibrated
+// insert cost and counting insertions into indexed. It is the single
+// definition of the filter-phase index build, shared by the join workloads,
+// BuildIndex, and RangeQuery.
+func buildCellTrees(c *mpi.Comm, owned map[int][]geom.Geometry, scale float64, indexed *int64) map[int]*rtree.Tree[geom.Geometry] {
+	trees := make(map[int]*rtree.Tree[geom.Geometry], len(owned))
+	for cell, gs := range owned {
+		tr := rtree.New[geom.Geometry]()
+		for _, gg := range gs {
+			c.Compute(costmodel.IndexInsert(virtualCount(tr.Len(), scale)) * scale)
+			tr.Insert(gg.Envelope(), gg)
+			*indexed++
+		}
+		trees[cell] = tr
+	}
+	return trees
 }
 
 // JoinFiles is the end-to-end exemplar: read and partition two vector
 // files with MPI-Vector-IO, then join them. Returns the aggregated
 // (cross-rank) breakdown, identical on all ranks.
+//
+// Both flavors are thin compositions over the streaming core. With
+// JoinOptions.Envelope nil (the default), the two-pass pipeline runs:
+// materialize both inputs with ReadPartition, derive the global envelope
+// with the MPI_UNION Allreduce, then exchange — historical behavior,
+// preserved by construction. With a caller-supplied envelope, the one-pass
+// pipeline runs: the grid is fixed up front and each file streams through
+// core.ReadExchange, so cell assignment and frame encoding overlap I/O and
+// parsing and no rank ever materializes its full local geometry slice. In
+// the one-pass breakdown, Read covers the rank's I/O, boundary-repair
+// communication and parsing work from the fused pass (the phases overlap,
+// so they are attributed by work done, not by wall intervals).
 func JoinFiles(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt JoinOptions) (Breakdown, error) {
+	if opt.Envelope != nil {
+		return joinFilesStreamed(c, fR, fS, parser, readOpt, opt)
+	}
 	t0 := c.Now()
 	localR, _, err := core.ReadPartition(c, fR, parser, readOpt)
 	if err != nil {
@@ -221,6 +265,38 @@ func JoinFiles(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, readOpt core
 	}
 	bd.Read = readTime
 	bd.Total += readTime
+	return bd.Aggregate(c)
+}
+
+// joinFilesStreamed is the one-pass JoinFiles pipeline: grid from the
+// caller-supplied envelope, each input streamed straight into its exchange.
+func joinFilesStreamed(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt JoinOptions) (Breakdown, error) {
+	var bd Breakdown
+	start := c.Now()
+	if opt.Envelope.IsEmpty() {
+		return bd, fmt.Errorf("spatial: streamed join requires a non-empty envelope")
+	}
+	cols, rows := squareDims(opt.cells())
+	g, err := grid.New(*opt.Envelope, cols, rows)
+	if err != nil {
+		return bd, fmt.Errorf("spatial: grid: %w", err)
+	}
+	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
+	cellsR, rstatsR, estatsR, err := core.ReadExchange(c, fR, parser, readOpt, pt)
+	if err != nil {
+		return bd, fmt.Errorf("spatial: stream R: %w", err)
+	}
+	cellsS, rstatsS, estatsS, err := core.ReadExchange(c, fS, parser, readOpt, pt)
+	if err != nil {
+		return bd, fmt.Errorf("spatial: stream S: %w", err)
+	}
+	bd.Read = rstatsR.IOTime + rstatsR.CommTime + rstatsR.ParseTime +
+		rstatsS.IOTime + rstatsS.CommTime + rstatsS.ParseTime
+	bd.Partition = estatsR.ProjectTime + estatsS.ProjectTime
+	bd.Comm = estatsR.CommTime + estatsS.CommTime
+
+	joinCells(c, g, cellsR, cellsS, opt, &bd)
+	bd.Total = c.Now() - start
 	return bd.Aggregate(c)
 }
 
@@ -267,16 +343,7 @@ func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*
 	bd.Comm = stats.CommTime
 
 	t0 := c.Now()
-	trees := make(map[int]*rtree.Tree[geom.Geometry], len(owned))
-	for cell, gs := range owned {
-		tr := rtree.New[geom.Geometry]()
-		for _, gg := range gs {
-			c.Compute(costmodel.IndexInsert(virtualCount(tr.Len(), scale)) * scale)
-			tr.Insert(gg.Envelope(), gg)
-			bd.Indexed++
-		}
-		trees[cell] = tr
-	}
+	trees := buildCellTrees(c, owned, scale, &bd.Indexed)
 	bd.Index = c.Now() - t0
 	bd.Total = c.Now() - start
 	return trees, g, bd, nil
@@ -326,16 +393,7 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 	bd.Comm = stats.CommTime
 
 	t0 := c.Now()
-	trees := make(map[int]*rtree.Tree[geom.Geometry], len(owned))
-	for cell, gs := range owned {
-		tr := rtree.New[geom.Geometry]()
-		for _, gg := range gs {
-			c.Compute(costmodel.IndexInsert(virtualCount(tr.Len(), scale)) * scale)
-			tr.Insert(gg.Envelope(), gg)
-			bd.Indexed++
-		}
-		trees[cell] = tr
-	}
+	trees := buildCellTrees(c, owned, scale, &bd.Indexed)
 	bd.Index = c.Now() - t0
 
 	// The query batch is fixed (it does not scale with the dataset), so

@@ -138,6 +138,14 @@ type Parser struct {
 	slab []geom.Point
 	// mark is the start of the in-progress point run within slab.
 	mark int
+
+	// runEnv is the MBR of the most recently completed point run, computed
+	// by takeRun in one pass over the contiguous run (not per push — a
+	// per-vertex store into the parser field costs real throughput in the
+	// decode hot loop). Completed geometries get it primed into their
+	// cache: exactly the value a lazy Envelope() would compute — same fold,
+	// same order — so their first Envelope() call costs nothing.
+	runEnv geom.Envelope
 }
 
 // NewParser returns a Parser with a pre-allocated coordinate arena.
@@ -179,12 +187,13 @@ func (p *Parser) pushPoint(pt geom.Point) {
 	p.slab = append(p.slab, pt)
 }
 
-// takeRun completes the in-progress run and returns it. The full slice
-// expression caps the result so callers appending to it reallocate instead
-// of writing into the arena.
+// takeRun completes the in-progress run, records its MBR in runEnv, and
+// returns it. The full slice expression caps the result so callers
+// appending to it reallocate instead of writing into the arena.
 func (p *Parser) takeRun() []geom.Point {
 	out := p.slab[p.mark:len(p.slab):len(p.slab)]
 	p.mark = len(p.slab)
+	p.runEnv = geom.EnvelopeOf(out)
 	return out
 }
 
@@ -297,7 +306,9 @@ func (p *Parser) geometry() (geom.Geometry, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &geom.LineString{Pts: pts}, nil
+		ls := &geom.LineString{Pts: pts}
+		ls.PrimeEnvelope(p.runEnv)
+		return ls, nil
 	case codePolygon:
 		poly := &geom.Polygon{}
 		if err := p.polygonBody(poly); err != nil {
@@ -322,13 +333,16 @@ func (p *Parser) geometry() (geom.Geometry, error) {
 			}
 			p.pushPoint(pt)
 		}
-		return &geom.MultiPoint{Pts: p.takeRun()}, nil
+		mp := &geom.MultiPoint{Pts: p.takeRun()}
+		mp.PrimeEnvelope(p.runEnv)
+		return mp, nil
 	case codeMultiLineString:
 		n, err := p.count(minCollectionElemBytes)
 		if err != nil {
 			return nil, err
 		}
 		lines := make([]geom.LineString, 0, n)
+		env := geom.EmptyEnvelope()
 		for i := 0; i < n; i++ {
 			if err := p.header(codeLineString, "wkb: MULTILINESTRING element is not a linestring"); err != nil {
 				return nil, err
@@ -338,14 +352,19 @@ func (p *Parser) geometry() (geom.Geometry, error) {
 				return nil, err
 			}
 			lines = append(lines, geom.LineString{Pts: pts})
+			lines[len(lines)-1].PrimeEnvelope(p.runEnv)
+			env = env.Union(p.runEnv)
 		}
-		return &geom.MultiLineString{Lines: lines}, nil
+		ml := &geom.MultiLineString{Lines: lines}
+		ml.PrimeEnvelope(env)
+		return ml, nil
 	case codeMultiPolygon:
 		n, err := p.count(minCollectionElemBytes)
 		if err != nil {
 			return nil, err
 		}
 		polys := make([]geom.Polygon, 0, n)
+		env := geom.EmptyEnvelope()
 		for i := 0; i < n; i++ {
 			if err := p.header(codePolygon, "wkb: MULTIPOLYGON element is not a polygon"); err != nil {
 				return nil, err
@@ -354,8 +373,11 @@ func (p *Parser) geometry() (geom.Geometry, error) {
 			if err := p.polygonBody(&polys[len(polys)-1]); err != nil {
 				return nil, err
 			}
+			env = env.Union(polys[len(polys)-1].Envelope())
 		}
-		return &geom.MultiPolygon{Polys: polys}, nil
+		mp := &geom.MultiPolygon{Polys: polys}
+		mp.PrimeEnvelope(env)
+		return mp, nil
 	default:
 		return nil, fmt.Errorf("wkb: unsupported geometry code %d", code)
 	}
@@ -376,6 +398,7 @@ func (p *Parser) polygonBody(poly *geom.Polygon) error {
 		}
 		if i == 0 {
 			poly.Shell = ring
+			poly.PrimeEnvelope(p.runEnv)
 		} else {
 			poly.Holes = append(poly.Holes, ring)
 		}

@@ -60,6 +60,10 @@ func TestEncodeDecodeAllTypes(t *testing.T) {
 		if n != len(buf) {
 			t.Errorf("%T: consumed %d of %d", want, n, len(buf))
 		}
+		// The decoder primes envelope caches; computing the literal side's
+		// envelope puts both in the same cache state, so DeepEqual also
+		// verifies the primed MBR is bit-identical to the lazy one.
+		want.Envelope()
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("%T round trip mismatch:\n got %+v\nwant %+v", want, got, want)
 		}
@@ -86,6 +90,9 @@ func TestDecodeConcatenatedStream(t *testing.T) {
 		}
 		got = append(got, g)
 		buf = buf[n:]
+	}
+	for _, g := range want {
+		g.Envelope() // match the decoder's primed cache state
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("stream decode mismatch: %+v", got)
@@ -171,6 +178,7 @@ func TestWKBRoundTripProperty(t *testing.T) {
 		if err != nil || used != len(enc) {
 			return false
 		}
+		want.Envelope() // match the decoder's primed cache state
 		return reflect.DeepEqual(got, want)
 	}
 	if err := quick.Check(prop, cfg); err != nil {
@@ -190,5 +198,26 @@ func TestDecodeTrailingBytesIgnored(t *testing.T) {
 	}
 	if g != pt(1, 2) {
 		t.Errorf("got %+v", g)
+	}
+}
+
+// TestEnvelopePrimedAtDecode pins envelope-at-parse for the binary decoder:
+// a freshly decoded geometry's envelope cache is primed during the
+// coordinate scan, so mutating the vertices afterwards does not change the
+// envelope.
+func TestEnvelopePrimedAtDecode(t *testing.T) {
+	src := &geom.Polygon{Shell: []geom.Point{pt(0, 0), pt(4, 0), pt(4, 4), pt(0, 0)}}
+	g, _, err := Decode(Encode(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := g.(*geom.Polygon)
+	want := env(0, 0, 4, 4)
+	if got := poly.Envelope(); got != want {
+		t.Fatalf("decoded envelope = %+v, want %+v", got, want)
+	}
+	poly.Shell[1] = pt(1e9, 1e9)
+	if got := poly.Envelope(); got != want {
+		t.Errorf("envelope not primed at decode: got %+v after mutation", got)
 	}
 }

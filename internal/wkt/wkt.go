@@ -75,6 +75,18 @@ type Parser struct {
 	slab []geom.Point
 	// mark is the start of the in-progress point run within slab.
 	mark int
+
+	// runEnv is the MBR of the most recently completed point run, computed
+	// by takeRun in one pass over the contiguous run (not per push — a
+	// per-vertex store into the parser field costs real throughput in the
+	// scan hot loop). Completed geometries get it primed into their cache:
+	// exactly the value a lazy Envelope() would compute — same fold, same
+	// order — so their first Envelope() call costs nothing.
+	runEnv geom.Envelope
+
+	// ringEnvs collects the per-ring envelopes of the current ring list —
+	// reusable scratch, consumed by the caller before the next ringList.
+	ringEnvs []geom.Envelope
 }
 
 // NewParser returns a Parser with a pre-allocated coordinate arena.
@@ -234,12 +246,13 @@ func (p *Parser) pushPoint(pt geom.Point) {
 	p.slab = append(p.slab, pt)
 }
 
-// takeRun completes the in-progress run and returns it. The full slice
-// expression caps the result so callers appending to it reallocate instead
-// of writing into the arena.
+// takeRun completes the in-progress run, records its MBR in runEnv, and
+// returns it. The full slice expression caps the result so callers
+// appending to it reallocate instead of writing into the arena.
 func (p *Parser) takeRun() []geom.Point {
 	out := p.slab[p.mark:len(p.slab):len(p.slab)]
 	p.mark = len(p.slab)
+	p.runEnv = geom.EnvelopeOf(out)
 	return out
 }
 
@@ -274,7 +287,9 @@ func (p *Parser) parseGeometry() (geom.Geometry, error) {
 		if len(pts) < 2 {
 			return nil, p.errf("LINESTRING needs >= 2 points, got %d", len(pts))
 		}
-		return &geom.LineString{Pts: pts}, nil
+		ls := &geom.LineString{Pts: pts}
+		ls.PrimeEnvelope(p.runEnv)
+		return ls, nil
 	case foldEq(kw, "POLYGON"):
 		rings, err := p.ringList()
 		if err != nil {
@@ -284,31 +299,40 @@ func (p *Parser) parseGeometry() (geom.Geometry, error) {
 		if err != nil {
 			return nil, err
 		}
+		poly.PrimeEnvelope(p.ringEnvs[0])
 		return &poly, nil
 	case foldEq(kw, "MULTIPOINT"):
 		pts, err := p.multiPointList()
 		if err != nil {
 			return nil, err
 		}
-		return &geom.MultiPoint{Pts: pts}, nil
+		mp := &geom.MultiPoint{Pts: pts}
+		mp.PrimeEnvelope(p.runEnv)
+		return mp, nil
 	case foldEq(kw, "MULTILINESTRING"):
 		rings, err := p.ringList()
 		if err != nil {
 			return nil, err
 		}
 		lines := make([]geom.LineString, len(rings))
+		env := geom.EmptyEnvelope()
 		for i, r := range rings {
 			if len(r) < 2 {
 				return nil, p.errf("MULTILINESTRING element needs >= 2 points")
 			}
 			lines[i] = geom.LineString{Pts: r}
+			lines[i].PrimeEnvelope(p.ringEnvs[i])
+			env = env.Union(p.ringEnvs[i])
 		}
-		return &geom.MultiLineString{Lines: lines}, nil
+		ml := &geom.MultiLineString{Lines: lines}
+		ml.PrimeEnvelope(env)
+		return ml, nil
 	case foldEq(kw, "MULTIPOLYGON"):
 		if err := p.expect('('); err != nil {
 			return nil, err
 		}
 		polys := make([]geom.Polygon, 0, 4)
+		env := geom.EmptyEnvelope()
 		for {
 			rings, err := p.ringList()
 			if err != nil {
@@ -318,6 +342,8 @@ func (p *Parser) parseGeometry() (geom.Geometry, error) {
 			if err != nil {
 				return nil, err
 			}
+			poly.PrimeEnvelope(p.ringEnvs[0])
+			env = env.Union(p.ringEnvs[0])
 			polys = append(polys, poly)
 			if p.peek() != ',' {
 				break
@@ -327,7 +353,9 @@ func (p *Parser) parseGeometry() (geom.Geometry, error) {
 		if err := p.expect(')'); err != nil {
 			return nil, err
 		}
-		return &geom.MultiPolygon{Polys: polys}, nil
+		mp := &geom.MultiPolygon{Polys: polys}
+		mp.PrimeEnvelope(env)
+		return mp, nil
 	case len(kw) == 0:
 		return nil, p.errf("expected geometry keyword")
 	default:
@@ -392,18 +420,22 @@ func (p *Parser) pointList() ([]geom.Point, error) {
 	return p.takeRun(), nil
 }
 
-// ringList parses "((...), (...), ...)".
+// ringList parses "((...), (...), ...)". The per-ring envelopes land in
+// p.ringEnvs (index-aligned with the result), valid until the next ringList
+// call.
 func (p *Parser) ringList() ([][]geom.Point, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
 	rings := make([][]geom.Point, 0, 4)
+	p.ringEnvs = p.ringEnvs[:0]
 	for {
 		pts, err := p.pointList()
 		if err != nil {
 			return nil, err
 		}
 		rings = append(rings, pts)
+		p.ringEnvs = append(p.ringEnvs, p.runEnv)
 		if p.peek() != ',' {
 			break
 		}

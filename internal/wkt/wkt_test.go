@@ -222,6 +222,11 @@ func TestParseFormatProperty(t *testing.T) {
 			t.Logf("format produced unparseable text: %v\n%s", err, Format(g))
 			return false
 		}
+		// The scanner primes envelope caches while parsing; computing the
+		// literal geometry's envelope puts both sides in the same cache
+		// state, so DeepEqual checks coordinates AND that the primed
+		// envelope is bit-identical to the lazily computed one.
+		g.Envelope()
 		return reflect.DeepEqual(g, out)
 	}
 	if err := quick.Check(prop, cfg); err != nil {
@@ -235,6 +240,42 @@ func BenchmarkParsePolygon(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse(in); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestEnvelopePrimedAtParse pins envelope-at-parse: the scanner accumulates
+// the MBR while touching the coordinates, so a freshly parsed geometry's
+// first Envelope() call reads the primed cache instead of rescanning. The
+// proof: mutating the vertices after parse does not change the envelope.
+func TestEnvelopePrimedAtParse(t *testing.T) {
+	inputs := []string{
+		"LINESTRING (30 10, 10 30, 40 40)",
+		"POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))",
+		"MULTIPOINT (10 40, 40 30)",
+		"MULTILINESTRING ((10 10, 20 20), (40 40, 30 30))",
+		"MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), ((15 5, 40 10, 10 20, 15 5)))",
+	}
+	for _, in := range inputs {
+		g, err := ParseString(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		want := g.Envelope()
+		switch v := g.(type) {
+		case *geom.LineString:
+			v.Pts[0] = geom.Point{X: 1e9, Y: 1e9}
+		case *geom.Polygon:
+			v.Shell[0] = geom.Point{X: 1e9, Y: 1e9}
+		case *geom.MultiPoint:
+			v.Pts[0] = geom.Point{X: 1e9, Y: 1e9}
+		case *geom.MultiLineString:
+			v.Lines[0].Pts[0] = geom.Point{X: 1e9, Y: 1e9}
+		case *geom.MultiPolygon:
+			v.Polys[0].Shell[0] = geom.Point{X: 1e9, Y: 1e9}
+		}
+		if got := g.Envelope(); got != want {
+			t.Errorf("%q: envelope not primed at parse: got %+v after mutation, want %+v", in, got, want)
 		}
 	}
 }

@@ -37,10 +37,15 @@
 //
 // Either way, the geometries returned remain valid indefinitely: the arena
 // slabs they reference are abandoned to the garbage collector, never
-// recycled. Geometries are treated as immutable after construction — their
-// envelopes are computed once and cached on first Envelope() call. That
-// first call is a write: a geometry handed to multiple goroutines should
-// have Envelope() called once before sharing (see the geom package doc).
+// recycled. Geometries are treated as immutable after construction. Their
+// envelopes come for free on parsed geometries: the WKT and WKB scanners
+// accumulate the MBR while touching the coordinates and prime the envelope
+// cache at parse time, so Envelope() never rescans and parsed geometries
+// can cross goroutines with no first-call write hazard. Geometries built
+// as struct literals still compute and cache the envelope on the first
+// Envelope() call; that first call is a write, so a literal-constructed
+// geometry handed to multiple goroutines should have Envelope() called
+// once before sharing (see the geom package doc).
 //
 // # Record framings and the binary WKB path
 //
@@ -104,10 +109,65 @@
 //		...
 //	})
 //
+// # Streaming pipeline
+//
+// ReadPartition materializes every geometry before anything downstream
+// runs. The streaming pipeline removes that barrier: ReadStream hands a
+// sink bounded, pooled batches (ReadOptions.StreamBatch geometries at
+// most) in file order as regions finish parsing, and the Partitioner's
+// Exchanger accepts batches mid-read — Add projects and serializes each
+// batch on arrival, Finish runs the sliding-window all-to-all over the
+// staged frames. Reading, cell assignment, and frame encoding overlap
+// instead of running as separate passes, and peak memory drops from the
+// full local geometry slice to one batch plus the compact serialized
+// frames (BENCH_ingest.json's read+exchange rows track the measured
+// ratio).
+//
+// The grid needs a global envelope before the first cell can be assigned,
+// which splits the pipeline into two flavors. One-pass, when the caller
+// knows the envelope (dataset metadata, a catalog, a previous run):
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		g, err := vectorio.NewGrid(worldEnv, 32, 32)
+//		if err != nil {
+//			return err
+//		}
+//		pt := &vectorio.Partitioner{Grid: g}
+//		cells, rstats, estats, err := vectorio.ReadExchange(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{}, pt)
+//		...
+//	})
+//
+// Two-pass, when the envelope is unknown: read first, derive the envelope
+// with the MPI_UNION Allreduce, then exchange — which is exactly what the
+// materialized entry points do, since ReadPartition and
+// Partitioner.Exchange are thin compositions over the same streaming core
+// (a collecting sink; one Add of the whole slice):
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		local, _, err := vectorio.ReadPartition(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{})
+//		if err != nil {
+//			return err
+//		}
+//		env, err := vectorio.GlobalEnvelope(c, vectorio.LocalEnvelope(local))
+//		...
+//		cells, _, err := pt.Exchange(c, local) // == Stream + Add + Finish
+//		...
+//	})
+//
+// JoinFiles follows the same split: JoinOptions.Envelope nil runs the
+// historical two-pass pipeline, non-nil runs both inputs through the
+// one-pass streamed read-exchange. Custom sinks compose the same way —
+// ReadStream's batches arrive on the rank goroutine in deterministic file
+// order, a sink error is settled collectively (every rank of the read
+// agrees on the outcome, even under SkipErrors), and the batch slice is
+// reused after each call while the geometries in it live on. See
+// examples/streamingest for a complete one-pass program.
+//
 // See the examples/ directory for complete programs: quickstart (parallel
-// read), wkbingest (the binary fast path vs text), spatialjoin (the
-// paper's end-to-end exemplar), rangequery (filter-and-refine batch
-// queries) and gridindex (parallel R-tree construction).
+// read), wkbingest (the binary fast path vs text), streamingest (the
+// one-pass streaming pipeline), spatialjoin (the paper's end-to-end
+// exemplar), rangequery (filter-and-refine batch queries) and gridindex
+// (parallel R-tree construction).
 package vectorio
 
 import (
@@ -222,6 +282,11 @@ type (
 	// Partitioner performs grid-based global spatial partitioning with the
 	// two-round all-to-all exchange.
 	Partitioner = core.Partitioner
+	// Exchanger is the Partitioner's streaming face: Add accepts geometry
+	// batches mid-read (for instance as a ReadStream sink), Finish runs the
+	// sliding-window exchange over the staged frames. Open one with
+	// Partitioner.Stream.
+	Exchanger = core.Exchanger
 	// ExchangeStats reports a rank's partitioning work.
 	ExchangeStats = core.ExchangeStats
 )
@@ -261,6 +326,22 @@ var (
 // (Algorithm 1 by default). All ranks must call it collectively.
 func ReadPartition(c *Comm, f *File, p Parser, opt ReadOptions) ([]Geometry, ReadStats, error) {
 	return core.ReadPartition(c, f, p, opt)
+}
+
+// ReadStream is the streaming variant of ReadPartition: geometries flow to
+// the sink in bounded, pooled batches, in deterministic file order, as
+// regions finish parsing (see "Streaming pipeline" above). All ranks must
+// call it collectively.
+func ReadStream(c *Comm, f *File, p Parser, opt ReadOptions, sink func(batch []Geometry) error) (ReadStats, error) {
+	return core.ReadStream(c, f, p, opt, sink)
+}
+
+// ReadExchange is the one-pass streaming pipeline: a parallel file read
+// feeding the Partitioner's streaming exchange batch by batch. It requires
+// the grid — and so the global envelope — up front. All ranks must call it
+// collectively.
+func ReadExchange(c *Comm, f *File, p Parser, opt ReadOptions, pt *Partitioner) (map[int][]Geometry, ReadStats, ExchangeStats, error) {
+	return core.ReadExchange(c, f, p, opt, pt)
 }
 
 // Spatial MPI extensions (paper Table 2): derived datatypes and reduction

@@ -207,3 +207,89 @@ func TestPublicAPIBinaryIngest(t *testing.T) {
 		t.Errorf("round trip changed geometry: %s", vectorio.FormatWKT(back))
 	}
 }
+
+// TestStreamingFacade drives the exported streaming pipeline: ReadStream
+// batches feed an Exchanger opened with Partitioner.Stream, and the
+// one-call ReadExchange composition partitions identically.
+func TestStreamingFacade(t *testing.T) {
+	fs, err := vectorio.NewFS(vectorio.RogerGPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := fs.Create("stream.wkt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	for i := 0; i < n; i++ {
+		layer.Append([]byte(fmt.Sprintf("POINT (%d.5 %d.5)\n", i%10, (i/10)%10)))
+	}
+	world := vectorio.Envelope{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+
+	var mu sync.Mutex
+	manual := map[int]int{} // cell -> geoms, summed over ranks
+	composed := map[int]int{}
+	totalBatches := 0
+	err = vectorio.Run(vectorio.Local(3), func(c *vectorio.Comm) error {
+		f := vectorio.Open(c, layer, vectorio.Hints{})
+		g, err := vectorio.NewGrid(world, 4, 4)
+		if err != nil {
+			return err
+		}
+		pt := &vectorio.Partitioner{Grid: g, DirectGrid: true}
+
+		// Explicit composition: Stream + ReadStream(sink=Add) + Finish.
+		ex, err := pt.Stream(c)
+		if err != nil {
+			return err
+		}
+		batches := 0
+		if _, err := vectorio.ReadStream(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{
+			BlockSize: 256, StreamBatch: 8,
+		}, func(batch []vectorio.Geometry) error {
+			batches++
+			return ex.Add(batch)
+		}); err != nil {
+			return err
+		}
+		cells, _, err := ex.Finish()
+		if err != nil {
+			return err
+		}
+
+		// One-call composition over the same grid.
+		cells2, _, _, err := vectorio.ReadExchange(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{
+			BlockSize: 256, StreamBatch: 8,
+		}, pt)
+		if err != nil {
+			return err
+		}
+
+		mu.Lock()
+		for cell, gs := range cells {
+			manual[cell] += len(gs)
+		}
+		for cell, gs := range cells2 {
+			composed[cell] += len(gs)
+		}
+		totalBatches += batches
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manual) == 0 || totalBatches < 3 {
+		t.Fatalf("streaming facade did not stream: %d cells, %d batches", len(manual), totalBatches)
+	}
+	total := 0
+	for cell, got := range manual {
+		if composed[cell] != got {
+			t.Errorf("cell %d: manual composition %d geoms, ReadExchange %d", cell, got, composed[cell])
+		}
+		total += got
+	}
+	if total != n {
+		t.Errorf("partitioned %d points, want %d", total, n)
+	}
+}
