@@ -8,6 +8,7 @@
 //	vectorio-bench -list                # show experiment ids
 //	vectorio-bench -exp fig17 -scale-mul 4 -quick
 //	vectorio-bench -bench-ingest        # wall-clock ingest baseline -> BENCH_ingest.json
+//	vectorio-bench -bench-query         # refresh the streamed-vs-materialized index rows
 //
 // -scale-mul multiplies every dataset's default scale factor (larger means
 // smaller real files and faster runs); -quick shrinks parameter sweeps.
@@ -16,12 +17,20 @@
 // ReadPartition) in real wall-clock time with allocation counts and writes
 // the trajectory artifact BENCH_ingest.json, comparing against the frozen
 // seed-parser baseline.
+//
+// -bench-query measures only the file-to-query rows — the streamed
+// (BuildIndexFiles/RangeQueryFiles) pipeline against the materialized
+// composition, throughput and peak heap — and merges them into an existing
+// BENCH_ingest.json, leaving every other section untouched. See
+// internal/bench/README.md for how and when to regenerate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -33,7 +42,8 @@ func main() {
 	scaleMul := flag.Float64("scale-mul", 1, "multiply dataset scale factors (bigger = faster, smaller files)")
 	quick := flag.Bool("quick", false, "shrink parameter sweeps")
 	ingest := flag.Bool("bench-ingest", false, "measure the wall-clock ingest baseline and write BENCH_ingest.json")
-	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest")
+	query := flag.Bool("bench-query", false, "measure the streamed-vs-materialized file-to-query rows and merge them into BENCH_ingest.json")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest / -bench-query")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +54,47 @@ func main() {
 	}
 
 	cfg := bench.Config{ScaleMul: *scaleMul, Quick: *quick}
+
+	if *query {
+		fail := func(err error) {
+			fmt.Fprintln(os.Stderr, "vectorio-bench: bench-query:", err)
+			os.Exit(1)
+		}
+		rows, err := bench.RunQueryReport(cfg)
+		if err != nil {
+			fail(err)
+		}
+		// Merge into the existing artifact so the parser/ingest/exchange
+		// sections keep their provenance; start fresh only when there
+		// genuinely is none — any other read failure must not silently
+		// overwrite the sections this flag promises to preserve.
+		var rep bench.IngestReport
+		payload, err := os.ReadFile(*ingestOut)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(payload, &rep); err != nil {
+				fail(fmt.Errorf("parsing existing %s: %w", *ingestOut, err))
+			}
+		case !os.IsNotExist(err):
+			fail(fmt.Errorf("reading existing %s: %w", *ingestOut, err))
+		}
+		rep.IndexQuery = rows
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		if rep.GoVersion == "" {
+			rep.GoVersion = runtime.Version()
+			rep.NumCPU = runtime.NumCPU()
+		}
+		rep.IngestTable().Print(os.Stdout)
+		out, err := rep.IngestJSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*ingestOut, out, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("   (updated index_query rows in %s)\n", *ingestOut)
+		return
+	}
 
 	if *ingest {
 		rep, err := bench.RunIngestReport(cfg)

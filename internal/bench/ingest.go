@@ -17,6 +17,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/pfs"
+	"repro/internal/spatial"
 	"repro/internal/wkb"
 	"repro/internal/wkt"
 )
@@ -73,6 +74,30 @@ type ExchangeRun struct {
 	PeakHeapMB   float64 `json:"peak_heap_mb"`
 }
 
+// IndexRun is one end-to-end file-to-query measurement: read, partition,
+// exchange, build the per-cell R-tree index, and answer a fixed batch of
+// range queries — the "materialized" pipeline materializes the local slice
+// first (ReadPartition, then the envelope-given BuildIndex + RangeQuery),
+// the "streamed" pipeline goes file → stream → index → query in one pass
+// (BuildIndexFiles / RangeQueryFiles with a caller envelope). Wall-clock
+// real time; allocation columns as in ExchangeRun. Indexed and Pairs are
+// summed across ranks and must be identical between the two pipelines —
+// the equivalence the test harness proves, re-checked here on real data.
+type IndexRun struct {
+	Dataset      string  `json:"dataset"`
+	Format       string  `json:"format"`
+	Pipeline     string  `json:"pipeline"` // "materialized" or "streamed"
+	Ranks        int     `json:"ranks"`
+	Queries      int     `json:"queries"`
+	Indexed      int64   `json:"indexed"`
+	Pairs        int64   `json:"pairs"`
+	FileBytes    int64   `json:"file_bytes"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	MBPerSec     float64 `json:"mb_per_sec"` // file bytes over the whole pass
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	PeakHeapMB   float64 `json:"peak_heap_mb"`
+}
+
 // IngestReport is the BENCH_ingest.json artifact: the perf trajectory
 // baseline for the ingest hot path. SeedParser pins the numbers measured on
 // the seed parser (PR 1, before the zero-allocation rewrite) so later PRs
@@ -89,6 +114,10 @@ type IngestReport struct {
 	SeedParser map[string]ParserSample `json:"seed_parser"`
 	Ingest     []IngestRun             `json:"ingest"`
 	Exchange   []ExchangeRun           `json:"exchange"`
+	// IndexQuery carries the streamed-vs-materialized file-to-query rows
+	// (see IndexRun). `vectorio-bench -bench-query` refreshes just these
+	// rows in an existing BENCH_ingest.json.
+	IndexQuery []IndexRun `json:"index_query"`
 }
 
 // seedParserBaseline is the seed (pre-rewrite) scanner measured on the same
@@ -221,6 +250,14 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 			rep.Exchange = append(rep.Exchange, run)
 		}
 	}
+
+	// End-to-end file-to-query: streamed index build + query against the
+	// materialized composition (`-bench-query` refreshes just these rows).
+	rows, err := RunQueryReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.IndexQuery = rows
 	return rep, nil
 }
 
@@ -245,14 +282,10 @@ func exchangeOnce(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (E
 	return best, nil
 }
 
-func exchangePass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (ExchangeRun, error) {
-	f, spec, opt, parser, err := ingestFixture(cfg, enc, 256)
-	if err != nil {
-		return ExchangeRun{}, err
-	}
-	world := geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
-
-	// Live-heap sampler: max HeapAlloc growth over the post-GC baseline.
+// heapMeasured runs fn under the live-heap sampler: max HeapAlloc growth
+// over the post-GC baseline (sampled every couple of milliseconds) plus
+// the run's cumulative TotalAlloc and wall time.
+func heapMeasured(fn func() error) (wallSeconds, peakHeapMB, totalAllocMB float64, err error) {
 	runtime.GC()
 	var base runtime.MemStats
 	runtime.ReadMemStats(&base)
@@ -277,6 +310,26 @@ func exchangePass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (E
 			}
 		}
 	}()
+	start := time.Now()
+	err = fn()
+	wallSeconds = time.Since(start).Seconds()
+	close(stop)
+	samplerWG.Wait()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if peak > base.HeapAlloc {
+		peakHeapMB = float64(peak-base.HeapAlloc) / 1e6
+	}
+	totalAllocMB = float64(end.TotalAlloc-base.TotalAlloc) / 1e6
+	return wallSeconds, peakHeapMB, totalAllocMB, err
+}
+
+func exchangePass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (ExchangeRun, error) {
+	f, spec, opt, parser, err := ingestFixture(cfg, enc, 256)
+	if err != nil {
+		return ExchangeRun{}, err
+	}
+	world := geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
 
 	var (
 		mu        sync.Mutex
@@ -284,52 +337,44 @@ func exchangePass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (E
 		geomsRecv int
 		bytesRead int64
 	)
-	start := time.Now()
-	err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
-		mf := mpiio.Open(c, f, mpiio.Hints{})
-		g, err := grid.New(world, 16, 16)
-		if err != nil {
-			return err
-		}
-		pt := &core.Partitioner{Grid: g, DirectGrid: true}
-		var cells map[int][]geom.Geometry
-		var rstats core.ReadStats
-		var estats core.ExchangeStats
-		if streamed {
-			cells, rstats, estats, err = core.ReadExchange(c, mf, parser(), opt, pt)
-		} else {
-			var local []geom.Geometry
-			local, rstats, err = core.ReadPartition(c, mf, parser(), opt)
-			if err == nil {
-				cells, estats, err = pt.Exchange(c, local)
+	wall, peakHeap, totalAlloc, err := heapMeasured(func() error {
+		return mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			mf := mpiio.Open(c, f, mpiio.Hints{})
+			g, err := grid.New(world, 16, 16)
+			if err != nil {
+				return err
 			}
-		}
-		if err != nil {
-			return err
-		}
-		_ = cells
-		mu.Lock()
-		records += rstats.Records
-		geomsRecv += estats.GeomsRecv
-		bytesRead += rstats.BytesRead
-		mu.Unlock()
-		return nil
+			pt := &core.Partitioner{Grid: g, DirectGrid: true}
+			var cells map[int][]geom.Geometry
+			var rstats core.ReadStats
+			var estats core.ExchangeStats
+			if streamed {
+				cells, rstats, estats, err = core.ReadExchange(c, mf, parser(), opt, pt)
+			} else {
+				var local []geom.Geometry
+				local, rstats, err = core.ReadPartition(c, mf, parser(), opt)
+				if err == nil {
+					cells, estats, err = pt.Exchange(c, local)
+				}
+			}
+			if err != nil {
+				return err
+			}
+			_ = cells
+			mu.Lock()
+			records += rstats.Records
+			geomsRecv += estats.GeomsRecv
+			bytesRead += rstats.BytesRead
+			mu.Unlock()
+			return nil
+		})
 	})
-	wall := time.Since(start).Seconds()
-	close(stop)
-	samplerWG.Wait()
-	var end runtime.MemStats
-	runtime.ReadMemStats(&end)
 	if err != nil {
 		return ExchangeRun{}, fmt.Errorf("exchange %s streamed=%v: %w", enc, streamed, err)
 	}
 	pipeline := "materialized"
 	if streamed {
 		pipeline = "streamed"
-	}
-	peakGrowth := float64(0)
-	if peak > base.HeapAlloc {
-		peakGrowth = float64(peak-base.HeapAlloc) / 1e6
 	}
 	return ExchangeRun{
 		Dataset:      spec.Name,
@@ -341,9 +386,129 @@ func exchangePass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (E
 		BytesRead:    bytesRead,
 		WallSeconds:  wall,
 		MBPerSec:     float64(bytesRead) / wall / 1e6,
-		TotalAllocMB: float64(end.TotalAlloc-base.TotalAlloc) / 1e6,
-		PeakHeapMB:   peakGrowth,
+		TotalAllocMB: totalAlloc,
+		PeakHeapMB:   peakHeap,
 	}, nil
+}
+
+// benchQueries is the fixed replicated query batch of the file-to-query
+// rows: a deterministic spread of rectangles over the world envelope.
+func benchQueries(n int) []geom.Envelope {
+	out := make([]geom.Envelope, n)
+	for i := range out {
+		// Deterministic low-discrepancy-ish spread; sizes vary 4x.
+		fx := float64(i%8) / 8
+		fy := float64((i*3)%n) / float64(n)
+		w := 4 + float64(i%4)*4
+		out[i] = geom.Envelope{
+			MinX: -180 + fx*340, MinY: -90 + fy*170,
+			MaxX: -180 + fx*340 + w, MaxY: -90 + fy*170 + w,
+		}
+	}
+	return out
+}
+
+// indexOnce reports the min-of-3 file-to-query pass (see exchangeOnce for
+// why the minimum peak is the right statistic).
+func indexOnce(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (IndexRun, error) {
+	best := IndexRun{PeakHeapMB: math.Inf(1)}
+	for rep := 0; rep < 3; rep++ {
+		run, err := indexPass(cfg, ranks, enc, streamed)
+		if err != nil {
+			return IndexRun{}, err
+		}
+		if run.PeakHeapMB < best.PeakHeapMB {
+			best = run
+		}
+	}
+	return best, nil
+}
+
+// indexPass measures one end-to-end file-to-query pass: the materialized
+// pipeline reads the whole file into a local slice and runs the
+// (envelope-given) RangeQuery over it — index build included — while the
+// streamed pipeline runs the one-pass RangeQueryFiles, whose batches flow
+// read → exchange → per-phase tree build without ever materializing the
+// slice. Same file, same grid, same query batch, so the Indexed/Pairs
+// columns must agree and the peak-heap column isolates the
+// materialization.
+func indexPass(cfg Config, ranks int, enc datagen.Encoding, streamed bool) (IndexRun, error) {
+	f, spec, opt, parser, err := ingestFixture(cfg, enc, 256)
+	if err != nil {
+		return IndexRun{}, err
+	}
+	world := geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+	queries := benchQueries(64)
+	jopt := spatial.JoinOptions{GridCells: 256, Envelope: &world}
+
+	var (
+		mu      sync.Mutex
+		indexed int64
+		pairs   int64
+	)
+	wall, peakHeap, totalAlloc, err := heapMeasured(func() error {
+		return mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			mf := mpiio.Open(c, f, mpiio.Hints{})
+			var bd spatial.Breakdown
+			var err error
+			if streamed {
+				bd, err = spatial.RangeQueryFiles(c, mf, parser(), opt, queries, jopt)
+			} else {
+				var local []geom.Geometry
+				local, _, err = core.ReadPartition(c, mf, parser(), opt)
+				if err == nil {
+					bd, err = spatial.RangeQuery(c, local, queries, jopt)
+				}
+			}
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			indexed += bd.Indexed
+			pairs += bd.Pairs
+			mu.Unlock()
+			return nil
+		})
+	})
+	if err != nil {
+		return IndexRun{}, fmt.Errorf("index %s streamed=%v: %w", enc, streamed, err)
+	}
+	pipeline := "materialized"
+	if streamed {
+		pipeline = "streamed"
+	}
+	fileBytes := f.Size()
+	return IndexRun{
+		Dataset:      spec.Name,
+		Format:       enc.String(),
+		Pipeline:     pipeline,
+		Ranks:        ranks,
+		Queries:      len(queries),
+		Indexed:      indexed,
+		Pairs:        pairs,
+		FileBytes:    fileBytes,
+		WallSeconds:  wall,
+		MBPerSec:     float64(fileBytes) / wall / 1e6,
+		TotalAllocMB: totalAlloc,
+		PeakHeapMB:   peakHeap,
+	}, nil
+}
+
+// RunQueryReport measures just the streamed-vs-materialized file-to-query
+// rows — the `vectorio-bench -bench-query` payload, merged into an
+// existing BENCH_ingest.json without disturbing the other sections.
+func RunQueryReport(cfg Config) ([]IndexRun, error) {
+	var rows []IndexRun
+	for _, enc := range []datagen.Encoding{datagen.EncodingWKT, datagen.EncodingWKB} {
+		for _, streamed := range []bool{false, true} {
+			run, err := indexOnce(cfg, 4, enc, streamed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, run)
+		}
+	}
+	return rows, nil
 }
 
 func ingestOnce(cfg Config, ranks int, enc datagen.Encoding, workers int) (IngestRun, error) {
@@ -443,6 +608,15 @@ func (r *IngestReport) IngestTable() *Table {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("exchange[%s/%s %s]", run.Dataset, run.Format, run.Pipeline),
 			fmt.Sprintf("%.0f rec", float64(run.Records)),
+			fmt.Sprintf("%.1f", run.MBPerSec),
+			fmt.Sprintf("peak %.1f MB", run.PeakHeapMB),
+			fmt.Sprintf("alloc %.0f MB", run.TotalAllocMB),
+		})
+	}
+	for _, run := range r.IndexQuery {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("index+query[%s/%s %s]", run.Dataset, run.Format, run.Pipeline),
+			fmt.Sprintf("%d idx/%d hit", run.Indexed, run.Pairs),
 			fmt.Sprintf("%.1f", run.MBPerSec),
 			fmt.Sprintf("peak %.1f MB", run.PeakHeapMB),
 			fmt.Sprintf("alloc %.0f MB", run.TotalAllocMB),

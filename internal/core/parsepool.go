@@ -200,10 +200,13 @@ func (pc *parseCtx) drain() {
 	}
 }
 
-// close stops the workers. Idempotent; safe on error paths with batches
-// still in flight (workers finish the queued work and exit — the buffered
-// done channels mean nobody blocks on the abandoned results).
+// close stops the workers and the overlapped sink goroutine. Idempotent;
+// safe on error paths with batches still in flight (workers finish the
+// queued work and exit — the buffered done channels mean nobody blocks on
+// the abandoned results, and the buffered sink result channel gives the
+// sink goroutine the same freedom).
 func (pc *parseCtx) close() {
+	pc.sinkClose()
 	if pc.pool == nil || pc.pool.closed {
 		return
 	}

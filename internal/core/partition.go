@@ -122,24 +122,52 @@ func (pt *Partitioner) mapping() func(cell, size int) int {
 // one Finish. Deferred mode keeps the historical memory shape: the caller
 // already holds every geometry, so Add records placements only, and Finish
 // serializes one sliding-window phase at a time into per-destination
-// buffers recycled across phases — the projection charge lands at Add and
-// the serialization charge inside each Finish phase, exactly where the
-// pre-streaming monolith placed them, so the virtual-time trajectory,
-// stats, and per-cell output order are identical by construction. One
-// deliberate behavior change: a geometry wholly outside the grid envelope
-// (only possible with a caller-built grid smaller than the data) used to
-// be silently dropped by the R-tree cell lookup; it now clamps to the
-// border cells, like the arithmetic lookup always did.
+// buffers recycled across phases — the projection charge lands at the top
+// of Finish and the serialization charge inside each Finish phase, the
+// fixed program points the streaming composition uses too, so the
+// materialized and streamed pipelines replay identical virtual-time
+// trajectories, stats, and per-cell output order by construction. One
+// deliberate behavior change of the streaming refactor: a geometry wholly
+// outside the grid envelope (only possible with a caller-built grid
+// smaller than the data) used to be silently dropped by the R-tree cell
+// lookup; it now clamps to the border cells, like the arithmetic lookup
+// always did.
 func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]geom.Geometry, ExchangeStats, error) {
+	result := make(map[int][]geom.Geometry)
+	stats, err := pt.ExchangeStream(c, local, func(cells map[int][]geom.Geometry) error {
+		// Phases own disjoint cell ranges, so merging is reference moves.
+		for cell, gs := range cells {
+			result[cell] = gs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return result, stats, nil
+}
+
+// ExchangeStream is Exchange with per-phase delivery: instead of returning
+// one materialized cell map after every sliding-window phase has run, it
+// hands the sink each phase's completed cells the moment that phase's
+// payload round lands — a cell's contents never grow after its phase, so a
+// consumer (an index builder, a writer) can process and release each slice
+// of the grid while later phases are still exchanging. The sink receives a
+// freshly built map per phase and may retain it and the geometries inside.
+// Sink errors do not abort the collective mid-phase: remaining phases still
+// run their exchange rounds on every rank (so no rank is stranded in a
+// collective), further deliveries stop, and the first sink error is
+// returned after the last phase. All ranks must call it collectively.
+func (pt *Partitioner) ExchangeStream(c *mpi.Comm, local []geom.Geometry, sink func(cells map[int][]geom.Geometry) error) (ExchangeStats, error) {
 	ex, err := pt.stream(c, true)
 	if err != nil {
-		return nil, ExchangeStats{}, err
+		return ExchangeStats{}, err
 	}
 	ex.placements = make([]placement, 0, len(local))
 	if err := ex.Add(local); err != nil {
-		return nil, ex.stats, err
+		return ex.stats, err
 	}
-	return ex.Finish()
+	return ex.FinishStream(sink)
 }
 
 // Exchanger is the streaming face of the Partitioner: it accepts geometry
@@ -150,14 +178,16 @@ func (pt *Partitioner) Exchange(c *mpi.Comm, local []geom.Geometry) (map[int][]g
 // the input geometries are never retained — once Add returns, a batch's
 // only footprint is its compact serialized frames.
 //
-// Add is rank-local and may be called any number of times (including zero)
-// with any batch sizes; ranks need not agree on the call count. Stream and
-// Finish are collective. Virtual-time accounting follows the parse-pool
-// precedent: projection cost is charged when Add runs, while serialization
-// cost accumulates off-clock per window phase and is charged inside Finish
-// — the fixed program point where the historical monolithic Exchange
-// charged it — so the materialized composition replays the exact
-// historical clock trajectory.
+// Add may be called any number of times (including zero) with any batch
+// sizes; ranks need not agree on the call count. Stream, Finish, and
+// FinishStream are collective. Virtual-time accounting follows the
+// parse-pool precedent: Add never touches the communicator — projection
+// and serialization costs accumulate off-clock and are charged inside
+// Finish at fixed rank-goroutine program points (the projection total
+// before the first phase, each phase's serialization inside that phase) —
+// so the materialized composition and the streamed pipeline replay
+// identical clock trajectories, and Add is safe to call from a
+// ReadOptions.SinkOverlap sink goroutine.
 type Exchanger struct {
 	c         *mpi.Comm
 	mapping   func(cell, size int) int
@@ -183,6 +213,12 @@ type Exchanger struct {
 	// serCost accumulates each phase's deferred per-geometry serialization
 	// charge (the per-byte part is derived from buffer sizes at Finish).
 	serCost []float64
+	// projCost accumulates the deferred projection charge of every Add —
+	// virtual seconds, already scale-multiplied — charged to the clock at
+	// the top of Finish. Keeping Add off the clock lets it run from a
+	// SinkOverlap sink goroutine and pins the streamed and materialized
+	// trajectories to the same program points.
+	projCost float64
 
 	// lateSer switches Add to record placements instead of serialized
 	// frames; Finish then serializes one window phase at a time into
@@ -247,17 +283,18 @@ func (pt *Partitioner) stream(c *mpi.Comm, lateSer bool) (*Exchanger, error) {
 }
 
 // Add projects one geometry batch onto grid cells and serializes the
-// placements into their window phases' send buffers. It is rank-local —
-// no communication — and the batch is not retained: geometries with empty
-// envelopes are dropped, the rest live on as serialized frames. Thanks to
-// envelope-at-parse, freshly parsed batches project without rescanning a
-// single coordinate.
+// placements into their window phases' send buffers. It performs no
+// communication and never touches the clock (costs accumulate off-clock,
+// charged inside Finish), and the batch is not retained: geometries with
+// empty envelopes are dropped, the rest live on as serialized frames.
+// Thanks to envelope-at-parse, freshly parsed batches project without
+// rescanning a single coordinate. Calls must be serialized (one goroutine
+// at a time — the rank goroutine, or a SinkOverlap sink goroutine whose
+// hand-off ordering the reader guarantees).
 func (ex *Exchanger) Add(batch []geom.Geometry) error {
 	if ex.done {
 		return fmt.Errorf("core: Exchanger.Add after Finish")
 	}
-	c := ex.c
-	t0 := c.Now()
 	for _, g := range batch {
 		env := g.Envelope()
 		if env.IsEmpty() {
@@ -268,10 +305,10 @@ func (ex *Exchanger) Add(batch []geom.Geometry) error {
 			// The paper's mechanism: query the R-tree of cell boundaries
 			// with the geometry's MBR.
 			cells = ex.cellIndex.CellsFor(env)
-			c.Compute(costmodel.IndexQuery(ex.numCells, len(cells)) * ex.scale)
+			ex.projCost += costmodel.IndexQuery(ex.numCells, len(cells)) * ex.scale
 		} else {
 			cells = ex.grid.CellsFor(env)
-			c.Compute(costmodel.GridProjectPerCell * float64(len(cells)) * ex.scale)
+			ex.projCost += costmodel.GridProjectPerCell * float64(len(cells)) * ex.scale
 		}
 		if len(cells) == 0 {
 			// The R-tree of cell boundaries matches nothing for a geometry
@@ -281,7 +318,7 @@ func (ex *Exchanger) Add(batch []geom.Geometry) error {
 			// lose data, so fall back to the arithmetic lookup, which clamps
 			// outside geometries to the border cells.
 			cells = ex.grid.CellsFor(env)
-			c.Compute(costmodel.GridProjectPerCell * float64(len(cells)) * ex.scale)
+			ex.projCost += costmodel.GridProjectPerCell * float64(len(cells)) * ex.scale
 		}
 		ex.stats.Replicas += len(cells)
 		if ex.lateSer {
@@ -306,7 +343,6 @@ func (ex *Exchanger) Add(batch []geom.Geometry) error {
 			ex.serCost[ph] += costmodel.SerializeGeomCost(g.GeomType())
 		}
 	}
-	ex.stats.ProjectTime += c.Now() - t0
 	return nil
 }
 
@@ -316,13 +352,53 @@ func (ex *Exchanger) Add(batch []geom.Geometry) error {
 // order (phase, then source rank, then the source's addition order). All
 // ranks must call it collectively, once.
 func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
+	result := make(map[int][]geom.Geometry)
+	stats, err := ex.FinishStream(func(cells map[int][]geom.Geometry) error {
+		for cell, gs := range cells {
+			result[cell] = gs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return result, stats, nil
+}
+
+// FinishStream is Finish with per-phase delivery: after each sliding-window
+// phase's payload round, the sink receives that phase's completed cells —
+// cell id -> geometries (from every rank), in the same deterministic order
+// Finish returns. A cell's contents never grow after its phase (a
+// placement's phase is cell/window), so the sink may consume and drop each
+// delivery immediately; the map is freshly built per phase and is the
+// sink's to keep. The sink runs on the rank goroutine between phases, off
+// the CommTime measurement; any collective it issues must be collective
+// across ranks. A sink error stops further deliveries but not the
+// exchange: every remaining phase still runs its two rounds on all ranks
+// (so no rank is stranded mid-collective), and the first sink error is
+// returned after the last phase — compositions whose sinks can fail on a
+// subset of ranks must settle agreement themselves, as the spatial
+// workloads' infallible sinks never need to. All ranks must call it
+// collectively, once.
+func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error) (ExchangeStats, error) {
 	if ex.done {
-		return nil, ex.stats, fmt.Errorf("core: Exchanger.Finish called twice")
+		return ex.stats, fmt.Errorf("core: Exchanger.Finish called twice")
+	}
+	if sink == nil {
+		return ex.stats, fmt.Errorf("core: FinishStream requires a sink")
 	}
 	ex.done = true
 	c := ex.c
-	result := make(map[int][]geom.Geometry)
 	rank := c.Rank()
+
+	// The deferred projection charge lands here — before the first phase's
+	// collectives — the same program point for the streamed pipeline (whose
+	// Adds ran mid-read) and the materialized wrapper (whose one Add ran
+	// just above), so both replay one clock trajectory.
+	c.Compute(ex.projCost)
+	ex.stats.ProjectTime += ex.projCost
+	ex.projCost = 0
+	var sinkErr error
 
 	counts := make([]byte, ex.size*8)
 	recvSizes := make([]int, ex.size)
@@ -358,7 +434,7 @@ func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
 				dst := ex.mapping(pl.cell, ex.size)
 				buf, err := appendExchangeFrame(lateSend[dst], pl.cell, pl.g)
 				if err != nil {
-					return nil, ex.stats, err
+					return ex.stats, err
 				}
 				lateSend[dst] = buf
 				serGeomCost += costmodel.SerializeGeomCost(pl.g.GeomType())
@@ -385,7 +461,7 @@ func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
 		}
 		gotCounts, err := c.AlltoallFixed(counts, 8)
 		if err != nil {
-			return nil, ex.stats, fmt.Errorf("core: count exchange: %w", err)
+			return ex.stats, fmt.Errorf("core: count exchange: %w", err)
 		}
 		for src := 0; src < ex.size; src++ {
 			recvSizes[src] = int(binary.LittleEndian.Uint64(gotCounts[src*8:]))
@@ -394,7 +470,7 @@ func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
 		// Round 2: exchange the coordinate payload (MPI_Alltoallv).
 		parts, err := c.Alltoallv(send, recvSizes)
 		if err != nil {
-			return nil, ex.stats, fmt.Errorf("core: payload exchange: %w", err)
+			return ex.stats, fmt.Errorf("core: payload exchange: %w", err)
 		}
 
 		// This phase's staged frames are dead the moment the payload round
@@ -405,19 +481,20 @@ func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
 			ex.send[ph] = nil
 		}
 
-		// Deserialize into owned cells.
+		// Deserialize into this phase's owned cells.
+		phaseCells := make(map[int][]geom.Geometry)
 		for _, part := range parts {
 			c.Compute(costmodel.DeserializePerByte * float64(len(part)) * ex.scale)
 			var deserGeomCost float64
 			for len(part) > 0 {
 				cell, g, rest, err := decodeExchangeFrame(part)
 				if err != nil {
-					return nil, ex.stats, err
+					return ex.stats, err
 				}
 				if own := ex.mapping(cell, ex.size); own != rank {
-					return nil, ex.stats, fmt.Errorf("core: received cell %d owned by rank %d on rank %d", cell, own, rank)
+					return ex.stats, fmt.Errorf("core: received cell %d owned by rank %d on rank %d", cell, own, rank)
 				}
-				result[cell] = append(result[cell], g)
+				phaseCells[cell] = append(phaseCells[cell], g)
 				ex.stats.GeomsRecv++
 				deserGeomCost += costmodel.DeserializeGeomCost(g.GeomType())
 				part = rest
@@ -425,9 +502,18 @@ func (ex *Exchanger) Finish() (map[int][]geom.Geometry, ExchangeStats, error) {
 			c.Compute(deserGeomCost * ex.scale)
 		}
 		ex.stats.CommTime += c.Now() - t1
+
+		// Hand the completed phase over, outside the CommTime window — the
+		// sink's work (tree builds, writes) is the consumer's phase, not the
+		// exchange's.
+		if sinkErr == nil {
+			if err := sink(phaseCells); err != nil {
+				sinkErr = err
+			}
+		}
 	}
 	ex.placements = nil
-	return result, ex.stats, nil
+	return ex.stats, sinkErr
 }
 
 // ReadExchange is the one-pass streaming pipeline: a parallel file read

@@ -384,3 +384,161 @@ func TestExchangerReuseGuards(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestExchangeStreamPerPhaseDelivery: the per-phase sink must see every
+// sliding-window phase exactly once, each delivery holding only cells of
+// that phase's window, phases disjoint, and the union — contents and
+// within-cell order — identical to the materialized Exchange.
+func TestExchangeStreamPerPhaseDelivery(t *testing.T) {
+	const ranks, window, gridDim = 3, 5, 8
+	geoms := genGeoms(t, 300, 41)
+	var mu sync.Mutex
+	merged := make([]exchangeResult, ranks)
+	phaseCount := make([]int, ranks)
+	want := make([]exchangeResult, ranks)
+
+	err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		g, err := grid.New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, gridDim, gridDim)
+		if err != nil {
+			return err
+		}
+		local := make([]geom.Geometry, 0, len(geoms)/ranks+1)
+		for i := c.Rank(); i < len(geoms); i += ranks {
+			local = append(local, geoms[i])
+		}
+		pt := &Partitioner{Grid: g, WindowCells: window, DirectGrid: true}
+
+		union := make(map[int][]geom.Geometry)
+		phases := 0
+		_, err = pt.ExchangeStream(c, local, func(cells map[int][]geom.Geometry) error {
+			lo, hi := phases*window, (phases+1)*window
+			for cell := range cells {
+				if cell < lo || cell >= hi {
+					return fmt.Errorf("phase %d delivered cell %d outside window [%d,%d)", phases, cell, lo, hi)
+				}
+				if _, dup := union[cell]; dup {
+					return fmt.Errorf("cell %d delivered twice", cell)
+				}
+			}
+			for cell, gs := range cells {
+				union[cell] = gs
+			}
+			phases++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		wantPhases := (gridDim*gridDim + window - 1) / window
+		if phases != wantPhases {
+			return fmt.Errorf("rank %d saw %d phase deliveries, want %d", c.Rank(), phases, wantPhases)
+		}
+
+		cells, _, err := pt.Exchange(c, local)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		merged[c.Rank()] = renderCells(union)
+		phaseCount[c.Rank()] = phases
+		want[c.Rank()] = renderCells(cells)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		if !reflect.DeepEqual(merged[r], want[r]) {
+			t.Fatalf("rank %d: per-phase union differs from materialized Exchange", r)
+		}
+	}
+}
+
+// TestFinishStreamSinkErrorCompletes: a sink error on one rank mid-phases
+// must not strand the others — every remaining phase's collectives still
+// run on all ranks, deliveries stop on the failing rank, FinishStream
+// returns the error there and nil elsewhere, and nobody hangs.
+func TestFinishStreamSinkErrorCompletes(t *testing.T) {
+	const ranks = 3
+	geoms := genGeoms(t, 200, 42)
+	boom := errors.New("index shard full")
+	var mu sync.Mutex
+	deliveries := make([]int, ranks)
+	errs := make([]error, ranks)
+	err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		g, err := grid.New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, 6, 6)
+		if err != nil {
+			return err
+		}
+		local := make([]geom.Geometry, 0, len(geoms)/ranks+1)
+		for i := c.Rank(); i < len(geoms); i += ranks {
+			local = append(local, geoms[i])
+		}
+		pt := &Partitioner{Grid: g, WindowCells: 4, DirectGrid: true} // 9 phases
+		n := 0
+		_, serr := pt.ExchangeStream(c, local, func(map[int][]geom.Geometry) error {
+			n++
+			if c.Rank() == 1 && n == 2 {
+				return boom
+			}
+			return nil
+		})
+		mu.Lock()
+		deliveries[c.Rank()] = n
+		errs[c.Rank()] = serr
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		if r == 1 {
+			if !errors.Is(errs[r], boom) {
+				t.Errorf("rank 1: error %v, want %v", errs[r], boom)
+			}
+			if deliveries[r] != 2 {
+				t.Errorf("rank 1: %d deliveries after error, want exactly 2", deliveries[r])
+			}
+			continue
+		}
+		if errs[r] != nil {
+			t.Errorf("rank %d: unexpected error %v", r, errs[r])
+		}
+		if deliveries[r] != 9 {
+			t.Errorf("rank %d: %d deliveries, want all 9 phases", r, deliveries[r])
+		}
+	}
+}
+
+// TestFinishStreamGuards: FinishStream needs a sink and is one-shot.
+func TestFinishStreamGuards(t *testing.T) {
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		g, err := grid.New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 2, 2)
+		if err != nil {
+			return err
+		}
+		pt := &Partitioner{Grid: g}
+		ex, err := pt.Stream(c)
+		if err != nil {
+			return err
+		}
+		if _, err := ex.FinishStream(nil); err == nil {
+			return fmt.Errorf("nil sink accepted")
+		}
+		if _, err := ex.FinishStream(func(map[int][]geom.Geometry) error { return nil }); err != nil {
+			return err
+		}
+		if err := ex.Add([]geom.Geometry{geom.Point{X: 0.5, Y: 0.5}}); err == nil {
+			return fmt.Errorf("Add after Finish accepted")
+		}
+		if _, err := ex.FinishStream(func(map[int][]geom.Geometry) error { return nil }); err == nil {
+			return fmt.Errorf("double FinishStream accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package pipelinetest is the reusable equivalence harness for the
+// streamed file-to-query pipeline: it runs one workload — parallel read,
+// spatial exchange, per-cell index build, batch range query — through the
+// materialized pipeline (ReadPartition + BuildIndex + RangeQuery), the
+// streamed pipeline (ReadStream feeding BuildIndexStream / the one-pass
+// RangeQueryFiles), and the streamed pipeline with sink-side backpressure
+// (ReadOptions.SinkOverlap), and asserts that every observable agrees
+// rank by rank: the geometries each rank reads (order included), its
+// ReadStats, the per-cell index cardinalities and exact geometry
+// multisets, the query matches, the phase timings, and the final virtual
+// clock — bitwise, not within a tolerance, because the streamed
+// compositions are built to replay the materialized trajectory exactly.
+//
+// Tests hand Build a file, a parser constructor, read options, a known
+// global envelope, and a query batch; RunAll/AssertEquivalent do the rest.
+// The harness is deliberately workload-agnostic so later PRs can pin new
+// pipeline variants (different framings, strategies, window shapes,
+// worker counts, rank counts) with one call.
+package pipelinetest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/rtree"
+	"repro/internal/spatial"
+	"repro/internal/wkt"
+)
+
+// Mode selects which pipeline composition a Run exercises.
+type Mode int
+
+const (
+	// Materialized is the two-stage historical shape: ReadPartition
+	// materializes every geometry, then the (envelope-given) materialized
+	// workloads run over the full local slice.
+	Materialized Mode = iota
+	// Streamed is the one-pass pipeline: ReadStream batches flow straight
+	// into the streaming index builder; per-cell trees bulk-load as each
+	// exchange phase completes.
+	Streamed
+	// StreamedOverlap is Streamed plus sink-side backpressure: the sink
+	// drains batch N on its own goroutine while the rank parses batch N+1
+	// (ReadOptions.SinkOverlap).
+	StreamedOverlap
+)
+
+// Modes lists every pipeline composition the harness runs.
+var Modes = []Mode{Materialized, Streamed, StreamedOverlap}
+
+func (m Mode) String() string {
+	switch m {
+	case Materialized:
+		return "materialized"
+	case Streamed:
+		return "streamed"
+	case StreamedOverlap:
+		return "streamed+overlap"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config describes one workload instance. The envelope must genuinely
+// cover the data for the grids of all modes to coincide, except when a
+// test deliberately undersizes it to exercise border-cell clamping — the
+// equivalence assertions hold either way.
+type Config struct {
+	File        *pfs.File
+	Parser      func() core.Parser
+	ReadOpt     core.ReadOptions
+	Envelope    geom.Envelope
+	GridCells   int
+	WindowCells int
+	Queries     []geom.Envelope
+	Ranks       int
+}
+
+// Result captures everything a pipeline mode must reproduce identically,
+// one entry per rank.
+type Result struct {
+	Mode      Mode
+	Local     [][]string       // geometries read, WKT, delivery order
+	ReadStats []core.ReadStats // the index pass's read statistics
+	Batches   []int            // sink deliveries (-1 when the mode has no sink)
+
+	IndexCard []map[int]int      // cell id -> tree cardinality
+	IndexSet  []map[int][]string // cell id -> sorted WKT multiset
+
+	// Phase timings and counters that must not drift between modes. Read
+	// and Total are deliberately absent: the modes attribute them to
+	// different program phases by design, and the final Clock pins the
+	// end-to-end trajectory far more strictly.
+	BuildPartition []float64
+	BuildComm      []float64
+	BuildIndexTime []float64
+	Indexed        []int64
+
+	QueryPairs  []int64
+	QueryRefine []float64
+	QueryHits   [][]string // "queryIdx:WKT" matches, sorted
+
+	Clock []float64 // final virtual time, after both pipelines
+}
+
+// Run executes the workload under one mode and collects its Result: first
+// the file-to-index pipeline, then the file-to-query pipeline (each a
+// self-contained collective pass over the file, so every mode reads the
+// file exactly twice and the final clocks are comparable).
+func Run(t *testing.T, cfg Config, mode Mode) *Result {
+	t.Helper()
+	res := &Result{
+		Mode:           mode,
+		Local:          make([][]string, cfg.Ranks),
+		ReadStats:      make([]core.ReadStats, cfg.Ranks),
+		Batches:        make([]int, cfg.Ranks),
+		IndexCard:      make([]map[int]int, cfg.Ranks),
+		IndexSet:       make([]map[int][]string, cfg.Ranks),
+		BuildPartition: make([]float64, cfg.Ranks),
+		BuildComm:      make([]float64, cfg.Ranks),
+		BuildIndexTime: make([]float64, cfg.Ranks),
+		Indexed:        make([]int64, cfg.Ranks),
+		QueryPairs:     make([]int64, cfg.Ranks),
+		QueryRefine:    make([]float64, cfg.Ranks),
+		QueryHits:      make([][]string, cfg.Ranks),
+		Clock:          make([]float64, cfg.Ranks),
+	}
+	readOpt := cfg.ReadOpt
+	if mode == StreamedOverlap {
+		readOpt.SinkOverlap = true
+	}
+	env := cfg.Envelope
+	iopt := spatial.IndexOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env}
+	jopt := spatial.JoinOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env}
+
+	var mu sync.Mutex
+	err := mpi.Run(cluster.Local(cfg.Ranks), func(c *mpi.Comm) error {
+		f := mpiio.Open(c, cfg.File, mpiio.Hints{})
+
+		// Pipeline 1: file -> per-cell index.
+		var local []string
+		batches := -1
+		var trees map[int]*rtree.Tree[geom.Geometry]
+		var g *grid.Grid
+		var buildBD spatial.Breakdown
+		var rstats core.ReadStats
+		if mode == Materialized {
+			geoms, stats, err := core.ReadPartition(c, f, cfg.Parser(), readOpt)
+			if err != nil {
+				return err
+			}
+			rstats = stats
+			for _, gg := range geoms {
+				local = append(local, wkt.Format(gg))
+			}
+			trees, g, buildBD, err = spatial.BuildIndex(c, geoms, iopt)
+			if err != nil {
+				return err
+			}
+		} else {
+			s, err := spatial.BuildIndexStream(c, iopt)
+			if err != nil {
+				return err
+			}
+			batches = 0
+			// The recording wrapper runs wherever the sink runs (the rank
+			// goroutine, or the SinkOverlap sink goroutine); the hand-off
+			// protocol serializes it either way.
+			rstats, err = core.ReadStream(c, f, cfg.Parser(), readOpt, func(batch []geom.Geometry) error {
+				batches++
+				for _, gg := range batch {
+					local = append(local, wkt.Format(gg))
+				}
+				return s.Add(batch)
+			})
+			if err != nil {
+				return err
+			}
+			trees, buildBD, err = s.Finish()
+			if err != nil {
+				return err
+			}
+			g = s.Grid()
+		}
+
+		// Pipeline 2: file -> range query.
+		var queryBD spatial.Breakdown
+		if mode == Materialized {
+			geoms, _, err := core.ReadPartition(c, f, cfg.Parser(), readOpt)
+			if err != nil {
+				return err
+			}
+			queryBD, err = spatial.RangeQuery(c, geoms, cfg.Queries, jopt)
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			queryBD, err = spatial.RangeQueryFiles(c, f, cfg.Parser(), readOpt, cfg.Queries, jopt)
+			if err != nil {
+				return err
+			}
+		}
+		clock := c.Now()
+
+		// Harness-side captures — pure local computation, no Comm, so the
+		// clock above is the pipelines' own.
+		card := make(map[int]int, len(trees))
+		set := make(map[int][]string, len(trees))
+		for cell, tr := range trees {
+			card[cell] = tr.Len()
+			var ws []string
+			tr.Search(tr.Envelope(), func(_ geom.Envelope, v geom.Geometry) bool {
+				ws = append(ws, wkt.Format(v))
+				return true
+			})
+			sort.Strings(ws)
+			set[cell] = ws
+		}
+		hits := evalQueries(c.Rank(), c.Size(), g, trees, cfg.Queries)
+
+		mu.Lock()
+		r := c.Rank()
+		res.Local[r] = local
+		res.ReadStats[r] = rstats
+		res.Batches[r] = batches
+		res.IndexCard[r] = card
+		res.IndexSet[r] = set
+		res.BuildPartition[r] = buildBD.Partition
+		res.BuildComm[r] = buildBD.Comm
+		res.BuildIndexTime[r] = buildBD.Index
+		res.Indexed[r] = buildBD.Indexed
+		res.QueryPairs[r] = queryBD.Pairs
+		res.QueryRefine[r] = queryBD.Refine
+		res.QueryHits[r] = hits
+		res.Clock[r] = clock
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s pipeline: %v", mode, err)
+	}
+	return res
+}
+
+// evalQueries re-evaluates the query batch against the finished trees with
+// the same ownership, filter, and reference-point rules the query phase
+// applies — the harness's independent record of which geometry matched
+// which query, so "query results identical" covers identities, not just
+// counts.
+func evalQueries(rank, size int, g *grid.Grid, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope) []string {
+	var hits []string
+	for qi, q := range queries {
+		qPoly := q.ToPolygon()
+		for _, cell := range g.CellsFor(q) {
+			if grid.RoundRobin(cell, size) != rank {
+				continue
+			}
+			tr := trees[cell]
+			if tr == nil {
+				continue
+			}
+			for _, gg := range tr.Query(q) {
+				ov := gg.Envelope().Intersection(q)
+				if g.RefCell(ov) != cell {
+					continue
+				}
+				if geom.Intersects(gg, qPoly) {
+					hits = append(hits, fmt.Sprintf("%d:%s", qi, wkt.Format(gg)))
+				}
+			}
+		}
+	}
+	sort.Strings(hits)
+	return hits
+}
+
+// RunAll executes the workload under every Mode.
+func RunAll(t *testing.T, cfg Config) []*Result {
+	t.Helper()
+	out := make([]*Result, 0, len(Modes))
+	for _, m := range Modes {
+		out = append(out, Run(t, cfg, m))
+	}
+	return out
+}
+
+// AssertEquivalent fails the test with a field-precise message wherever
+// got diverges from want. All comparisons are exact — the streamed
+// compositions charge the same costs at the same program points as the
+// materialized ones, so even the floating-point trajectories coincide.
+func AssertEquivalent(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	pair := fmt.Sprintf("%s: %s vs %s", label, got.Mode, want.Mode)
+	for r := range want.Local {
+		if len(got.Local[r]) != len(want.Local[r]) {
+			t.Fatalf("%s: rank %d read %d geometries, want %d", pair, r, len(got.Local[r]), len(want.Local[r]))
+		}
+		for i := range want.Local[r] {
+			if got.Local[r][i] != want.Local[r][i] {
+				t.Fatalf("%s: rank %d geometry %d differs:\n got %s\nwant %s", pair, r, i, got.Local[r][i], want.Local[r][i])
+			}
+		}
+		if got.ReadStats[r] != want.ReadStats[r] {
+			t.Errorf("%s: rank %d ReadStats drifted:\n got %+v\nwant %+v", pair, r, got.ReadStats[r], want.ReadStats[r])
+		}
+		if got.Batches[r] >= 0 && want.Batches[r] >= 0 && got.Batches[r] != want.Batches[r] {
+			t.Errorf("%s: rank %d delivered %d batches, want %d", pair, r, got.Batches[r], want.Batches[r])
+		}
+		assertCellsEqual(t, pair, r, got.IndexCard[r], want.IndexCard[r], got.IndexSet[r], want.IndexSet[r])
+		if got.BuildPartition[r] != want.BuildPartition[r] {
+			t.Errorf("%s: rank %d build Partition %v, want %v", pair, r, got.BuildPartition[r], want.BuildPartition[r])
+		}
+		if got.BuildComm[r] != want.BuildComm[r] {
+			t.Errorf("%s: rank %d build Comm %v, want %v", pair, r, got.BuildComm[r], want.BuildComm[r])
+		}
+		if got.BuildIndexTime[r] != want.BuildIndexTime[r] {
+			t.Errorf("%s: rank %d build Index %v, want %v", pair, r, got.BuildIndexTime[r], want.BuildIndexTime[r])
+		}
+		if got.Indexed[r] != want.Indexed[r] {
+			t.Errorf("%s: rank %d indexed %d, want %d", pair, r, got.Indexed[r], want.Indexed[r])
+		}
+		if got.QueryPairs[r] != want.QueryPairs[r] {
+			t.Errorf("%s: rank %d query pairs %d, want %d", pair, r, got.QueryPairs[r], want.QueryPairs[r])
+		}
+		if got.QueryRefine[r] != want.QueryRefine[r] {
+			t.Errorf("%s: rank %d Refine %v, want %v", pair, r, got.QueryRefine[r], want.QueryRefine[r])
+		}
+		if len(got.QueryHits[r]) != len(want.QueryHits[r]) {
+			t.Fatalf("%s: rank %d has %d query hits, want %d", pair, r, len(got.QueryHits[r]), len(want.QueryHits[r]))
+		}
+		for i := range want.QueryHits[r] {
+			if got.QueryHits[r][i] != want.QueryHits[r][i] {
+				t.Fatalf("%s: rank %d hit %d differs:\n got %s\nwant %s", pair, r, i, got.QueryHits[r][i], want.QueryHits[r][i])
+			}
+		}
+		if got.Clock[r] != want.Clock[r] {
+			t.Errorf("%s: rank %d final clock %v, want %v", pair, r, got.Clock[r], want.Clock[r])
+		}
+	}
+}
+
+func assertCellsEqual(t *testing.T, pair string, r int, gotCard, wantCard map[int]int, gotSet, wantSet map[int][]string) {
+	t.Helper()
+	if len(gotCard) != len(wantCard) {
+		t.Fatalf("%s: rank %d owns %d indexed cells, want %d", pair, r, len(gotCard), len(wantCard))
+	}
+	for cell, wantN := range wantCard {
+		if gotN, ok := gotCard[cell]; !ok || gotN != wantN {
+			t.Fatalf("%s: rank %d cell %d cardinality %d, want %d", pair, r, cell, gotN, wantN)
+		}
+		gs, ws := gotSet[cell], wantSet[cell]
+		for i := range ws {
+			if gs[i] != ws[i] {
+				t.Fatalf("%s: rank %d cell %d member %d differs:\n got %s\nwant %s", pair, r, cell, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// AssertAllEquivalent pins every mode's Result to the first (the
+// materialized reference), after checking the reference actually indexed
+// and matched something — an accidentally empty workload would otherwise
+// make every equivalence vacuous.
+func AssertAllEquivalent(t *testing.T, label string, results []*Result) {
+	t.Helper()
+	var indexed, pairs int64
+	for r := range results[0].Indexed {
+		indexed += results[0].Indexed[r]
+		pairs += results[0].QueryPairs[r]
+	}
+	if indexed == 0 {
+		t.Fatalf("%s: reference pipeline indexed nothing; fixture too sparse", label)
+	}
+	if pairs == 0 {
+		t.Fatalf("%s: reference pipeline matched nothing; query batch too sparse", label)
+	}
+	for _, res := range results[1:] {
+		AssertEquivalent(t, label, res, results[0])
+	}
+}

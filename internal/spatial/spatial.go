@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -212,22 +213,67 @@ func joinCells(c *mpi.Comm, g *grid.Grid, cellsR, cellsS map[int][]geom.Geometry
 	bd.Refine = c.Now() - t1
 }
 
-// buildCellTrees builds one R-tree per owned cell, charging the calibrated
-// insert cost and counting insertions into indexed. It is the single
-// definition of the filter-phase index build, shared by the join workloads,
-// BuildIndex, and RangeQuery.
-func buildCellTrees(c *mpi.Comm, owned map[int][]geom.Geometry, scale float64, indexed *int64) map[int]*rtree.Tree[geom.Geometry] {
-	trees := make(map[int]*rtree.Tree[geom.Geometry], len(owned))
-	for cell, gs := range owned {
-		tr := rtree.New[geom.Geometry]()
-		for _, gg := range gs {
-			c.Compute(costmodel.IndexInsert(virtualCount(tr.Len(), scale)) * scale)
-			tr.Insert(gg.Envelope(), gg)
-			*indexed++
-		}
-		trees[cell] = tr
+// cellIndexer builds one R-tree per owned cell, a phase at a time — the
+// single definition of the filter-phase index build, shared by the join
+// workloads, the materialized BuildIndex/RangeQuery wrappers, and the
+// streaming IndexStream (its phase method is an Exchanger.FinishStream
+// sink, so trees rise while later window phases are still exchanging).
+// Cells build in ascending id order within each phase and each cell's tree
+// is STR bulk-loaded — partitioned cells are build-once/query-many, which
+// is exactly BulkLoad's case, and the packed trees answer filter queries
+// with fewer node visits than incrementally split ones. The virtual-time
+// charge stays pinned to the paper's incremental model (GEOS
+// insert-one-at-a-time, §5.2): one IndexInsert per geometry against the
+// growing virtual tree size, replayed in insertion order, so Figure 20's
+// index-phase times are unchanged by the bulk-loading.
+type cellIndexer struct {
+	c       *mpi.Comm
+	scale   float64
+	trees   map[int]*rtree.Tree[geom.Geometry]
+	time    float64 // virtual seconds spent building (summed across phases)
+	indexed int64
+
+	ids   []int                       // recycled per-phase sorted cell ids
+	items []rtree.Item[geom.Geometry] // recycled bulk-load staging
+}
+
+func newCellIndexer(c *mpi.Comm, scale float64) *cellIndexer {
+	return &cellIndexer{c: c, scale: scale, trees: make(map[int]*rtree.Tree[geom.Geometry])}
+}
+
+// phase indexes one batch of completed cells. It is an Exchanger
+// FinishStream sink and never fails.
+func (ci *cellIndexer) phase(cells map[int][]geom.Geometry) error {
+	t0 := ci.c.Now()
+	ci.ids = ci.ids[:0]
+	for cell := range cells {
+		ci.ids = append(ci.ids, cell)
 	}
-	return trees
+	sort.Ints(ci.ids)
+	for _, cell := range ci.ids {
+		gs := cells[cell]
+		items := ci.items[:0]
+		for i, gg := range gs {
+			ci.c.Compute(costmodel.IndexInsert(virtualCount(i, ci.scale)) * ci.scale)
+			items = append(items, rtree.Item[geom.Geometry]{Env: gg.Envelope(), Value: gg})
+		}
+		// BulkLoad copies the items into its own sorted slice, so the
+		// staging buffer recycles across cells.
+		ci.trees[cell] = rtree.BulkLoad(items)
+		ci.items = items
+		ci.indexed += int64(len(gs))
+	}
+	ci.time += ci.c.Now() - t0
+	return nil
+}
+
+// buildCellTrees is the one-shot materialized composition over the
+// cellIndexer: every owned cell indexed in a single phase.
+func buildCellTrees(c *mpi.Comm, owned map[int][]geom.Geometry, scale float64, indexed *int64) map[int]*rtree.Tree[geom.Geometry] {
+	ci := newCellIndexer(c, scale)
+	_ = ci.phase(owned)
+	*indexed += ci.indexed
+	return ci.trees
 }
 
 // JoinFiles is the end-to-end exemplar: read and partition two vector
@@ -306,6 +352,21 @@ type IndexOptions struct {
 	GridCells int
 	// WindowCells bounds cells per exchange phase.
 	WindowCells int
+	// Envelope, when non-nil, is a caller-known global data envelope: the
+	// grid is fixed from it up front instead of from the MPI_UNION
+	// Allreduce, which is what lets BuildIndexFiles run the one-pass
+	// streamed pipeline (and BuildIndex skip the reduction). Geometries
+	// outside the supplied envelope still index correctly — projections
+	// clamp to the border cells — but a misleadingly small envelope skews
+	// the grid, so supply the real bounds or nil.
+	Envelope *geom.Envelope
+}
+
+func (o IndexOptions) cells() int {
+	if o.GridCells > 0 {
+		return o.GridCells
+	}
+	return 2048
 }
 
 // BuildIndex partitions the local geometries globally and builds one R-tree
@@ -313,40 +374,51 @@ type IndexOptions struct {
 // handles 717 M geometries in 90 s at 320 processes. Returns the cell
 // indexes, the grid whose cell ids key them (nil when there is no data),
 // and this rank's un-aggregated breakdown.
+//
+// BuildIndex is the materialized composition over the streamed index core:
+// one ExchangeStream whose per-phase sink is the shared cellIndexer, so
+// trees rise as each sliding-window phase completes and the fully
+// materialized owned-cells map never exists. With IndexOptions.Envelope
+// set, the MPI_UNION reduction is skipped and the grid fixed up front —
+// the configuration whose clock trajectory the one-pass BuildIndexFiles
+// reproduces exactly.
 func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*rtree.Tree[geom.Geometry], *grid.Grid, Breakdown, error) {
 	var bd Breakdown
 	start := c.Now()
-	scale := c.Config().Scale()
-	cells := opt.GridCells
-	if cells <= 0 {
-		cells = 2048
+	var global geom.Envelope
+	if opt.Envelope != nil {
+		if opt.Envelope.IsEmpty() {
+			return nil, nil, bd, fmt.Errorf("spatial: BuildIndex requires a non-empty envelope when one is supplied")
+		}
+		global = *opt.Envelope
+	} else {
+		var err error
+		global, err = core.GlobalEnvelope(c, core.LocalEnvelope(local))
+		if err != nil {
+			return nil, nil, bd, fmt.Errorf("spatial: global envelope: %w", err)
+		}
+		if global.IsEmpty() {
+			bd.Total = c.Now() - start
+			return map[int]*rtree.Tree[geom.Geometry]{}, nil, bd, nil
+		}
 	}
-	global, err := core.GlobalEnvelope(c, core.LocalEnvelope(local))
-	if err != nil {
-		return nil, nil, bd, fmt.Errorf("spatial: global envelope: %w", err)
-	}
-	if global.IsEmpty() {
-		bd.Total = c.Now() - start
-		return map[int]*rtree.Tree[geom.Geometry]{}, nil, bd, nil
-	}
-	cols, rows := squareDims(cells)
+	cols, rows := squareDims(opt.cells())
 	g, err := grid.New(global, cols, rows)
 	if err != nil {
 		return nil, nil, bd, fmt.Errorf("spatial: grid: %w", err)
 	}
 	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
-	owned, stats, err := pt.Exchange(c, local)
+	ci := newCellIndexer(c, c.Config().Scale())
+	stats, err := pt.ExchangeStream(c, local, ci.phase)
 	if err != nil {
 		return nil, nil, bd, fmt.Errorf("spatial: exchange: %w", err)
 	}
 	bd.Partition = stats.ProjectTime
 	bd.Comm = stats.CommTime
-
-	t0 := c.Now()
-	trees := buildCellTrees(c, owned, scale, &bd.Indexed)
-	bd.Index = c.Now() - t0
+	bd.Index = ci.time
+	bd.Indexed = ci.indexed
 	bd.Total = c.Now() - start
-	return trees, g, bd, nil
+	return ci.trees, g, bd, nil
 }
 
 // virtualCount converts a real element count to its full-scale equivalent.
@@ -361,23 +433,36 @@ func virtualCount(n int, scale float64) int {
 // batch is assumed replicated on all ranks (the paper's batch-query
 // workload, §4.3). Returns this rank's breakdown; matches are per-rank
 // until aggregated.
+//
+// Like BuildIndex, RangeQuery is a materialized composition over the
+// streamed index core: the cell trees rise phase by phase inside the
+// exchange. With JoinOptions.Envelope set, the grid is fixed from the
+// caller's envelope instead of the MPI_UNION reduction over data and
+// queries — queries and data outside it clamp to the border cells — which
+// is the configuration the one-pass RangeQueryFiles reproduces exactly.
 func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope, opt JoinOptions) (Breakdown, error) {
 	var bd Breakdown
 	start := c.Now()
-	scale := c.Config().Scale()
-	pred := opt.predicate()
-
-	queryEnv := geom.EmptyEnvelope()
-	for _, q := range queries {
-		queryEnv = queryEnv.Union(q)
-	}
-	global, err := core.GlobalEnvelope(c, core.LocalEnvelope(localData).Union(queryEnv))
-	if err != nil {
-		return bd, fmt.Errorf("spatial: global envelope: %w", err)
-	}
-	if global.IsEmpty() {
-		bd.Total = c.Now() - start
-		return bd, nil
+	var global geom.Envelope
+	if opt.Envelope != nil {
+		if opt.Envelope.IsEmpty() {
+			return bd, fmt.Errorf("spatial: RangeQuery requires a non-empty envelope when one is supplied")
+		}
+		global = *opt.Envelope
+	} else {
+		queryEnv := geom.EmptyEnvelope()
+		for _, q := range queries {
+			queryEnv = queryEnv.Union(q)
+		}
+		var err error
+		global, err = core.GlobalEnvelope(c, core.LocalEnvelope(localData).Union(queryEnv))
+		if err != nil {
+			return bd, fmt.Errorf("spatial: global envelope: %w", err)
+		}
+		if global.IsEmpty() {
+			bd.Total = c.Now() - start
+			return bd, nil
+		}
 	}
 	cols, rows := squareDims(opt.cells())
 	g, err := grid.New(global, cols, rows)
@@ -385,16 +470,29 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 		return bd, fmt.Errorf("spatial: grid: %w", err)
 	}
 	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
-	owned, stats, err := pt.Exchange(c, localData)
+	ci := newCellIndexer(c, c.Config().Scale())
+	stats, err := pt.ExchangeStream(c, localData, ci.phase)
 	if err != nil {
 		return bd, fmt.Errorf("spatial: exchange: %w", err)
 	}
 	bd.Partition = stats.ProjectTime
 	bd.Comm = stats.CommTime
+	bd.Index = ci.time
+	bd.Indexed = ci.indexed
 
-	t0 := c.Now()
-	trees := buildCellTrees(c, owned, scale, &bd.Indexed)
-	bd.Index = c.Now() - t0
+	queryCells(c, g, ci.trees, queries, opt, &bd)
+	bd.Total = c.Now() - start
+	return bd, nil
+}
+
+// queryCells evaluates a replicated rectangular query batch against this
+// rank's cell trees with filter-and-refine and reference-point duplicate
+// suppression, accumulating matches and refine time into bd. It is the
+// shared back half of RangeQuery (materialized) and RangeQueryFiles
+// (one-pass streamed).
+func queryCells(c *mpi.Comm, g *grid.Grid, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope, opt JoinOptions, bd *Breakdown) {
+	scale := c.Config().Scale()
+	pred := opt.predicate()
 
 	// The query batch is fixed (it does not scale with the dataset), so
 	// per-query work is charged once, against the scaled-up tree and hit
@@ -426,7 +524,5 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 			}
 		}
 	}
-	bd.Refine = c.Now() - t1
-	bd.Total = c.Now() - start
-	return bd, nil
+	bd.Refine += c.Now() - t1
 }

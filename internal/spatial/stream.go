@@ -1,0 +1,197 @@
+// Streamed indexing and file-to-query pipelines: the streaming pipeline of
+// PR 4 (read → partition → exchange, overlapped) extended all the way to
+// the paper's query-side workloads. IndexStream consumes Exchanger
+// per-phase output incrementally — each grid cell's R-tree is bulk-loaded
+// the moment its sliding-window exchange phase completes — and the *Files
+// entry points go file → stream → index (→ query) in one pass, so a rank
+// never materializes its local geometry slice or its full owned-cells map.
+package spatial
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/rtree"
+)
+
+// IndexStream is the streaming face of BuildIndex: Add accepts geometry
+// batches mid-read (it is a core.ReadStream sink, safe under
+// ReadOptions.SinkOverlap because it never touches the communicator), and
+// Finish completes the sliding-window exchange, bulk-loading each cell's
+// R-tree as that cell's phase lands rather than after a fully
+// materialized exchange. Open one with BuildIndexStream; Add is rank-local,
+// Finish is collective.
+type IndexStream struct {
+	c     *mpi.Comm
+	g     *grid.Grid
+	ex    *core.Exchanger
+	ci    *cellIndexer
+	start float64
+}
+
+// BuildIndexStream opens a streaming index build. The grid — and so the
+// global envelope — must be known up front: IndexOptions.Envelope is
+// required (when the envelope is unknown, read first and use the
+// materialized BuildIndex, which derives it with the MPI_UNION
+// Allreduce). All ranks must call it collectively with identical options.
+func BuildIndexStream(c *mpi.Comm, opt IndexOptions) (*IndexStream, error) {
+	if opt.Envelope == nil || opt.Envelope.IsEmpty() {
+		return nil, fmt.Errorf("spatial: BuildIndexStream requires a non-empty IndexOptions.Envelope")
+	}
+	cols, rows := squareDims(opt.cells())
+	g, err := grid.New(*opt.Envelope, cols, rows)
+	if err != nil {
+		return nil, fmt.Errorf("spatial: grid: %w", err)
+	}
+	return newIndexStream(c, g, opt.WindowCells)
+}
+
+// newIndexStream opens the streaming exchange over an already-built grid —
+// the shared core of BuildIndexStream and the one-pass RangeQueryFiles
+// (whose grid granularity comes from JoinOptions instead).
+func newIndexStream(c *mpi.Comm, g *grid.Grid, window int) (*IndexStream, error) {
+	pt := &core.Partitioner{Grid: g, WindowCells: window}
+	ex, err := pt.Stream(c)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexStream{
+		c:     c,
+		g:     g,
+		ex:    ex,
+		ci:    newCellIndexer(c, c.Config().Scale()),
+		start: c.Now(),
+	}, nil
+}
+
+// Add projects and stages one geometry batch. It is rank-local, never
+// touches the clock, and does not retain the batch — which is what lets it
+// feed directly from a ReadStream sink, including an overlapped one.
+func (s *IndexStream) Add(batch []geom.Geometry) error { return s.ex.Add(batch) }
+
+// Grid returns the grid whose cell ids key the finished trees.
+func (s *IndexStream) Grid() *grid.Grid { return s.g }
+
+// Finish runs the sliding-window exchange over the staged frames, building
+// each completed phase's cell trees as it goes, and returns this rank's
+// cell indexes with the build's un-aggregated breakdown (Read is the
+// caller's to fill — the stream that fed Add owns that number). All ranks
+// must call it collectively, once.
+func (s *IndexStream) Finish() (map[int]*rtree.Tree[geom.Geometry], Breakdown, error) {
+	var bd Breakdown
+	stats, err := s.ex.FinishStream(s.ci.phase)
+	bd.Partition = stats.ProjectTime
+	bd.Comm = stats.CommTime
+	bd.Index = s.ci.time
+	bd.Indexed = s.ci.indexed
+	bd.Total = s.c.Now() - s.start
+	if err != nil {
+		return nil, bd, fmt.Errorf("spatial: streamed index: %w", err)
+	}
+	return s.ci.trees, bd, nil
+}
+
+// BuildIndexFiles is the file-to-index pipeline: read a vector file with
+// MPI-Vector-IO and build the distributed per-cell R-tree index. With
+// IndexOptions.Envelope nil it runs two passes — materialize with
+// ReadPartition, then BuildIndex (MPI_UNION envelope, historical
+// behavior). With a caller-supplied envelope it runs one pass: the grid is
+// fixed up front and parsed batches stream through the Exchanger into the
+// per-phase tree builder, so reading, cell assignment, frame encoding, and
+// index construction overlap and no rank ever holds its full local slice.
+// Returns the cell indexes, the grid, and this rank's un-aggregated
+// breakdown. All ranks must call it collectively.
+func BuildIndexFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt IndexOptions) (map[int]*rtree.Tree[geom.Geometry], *grid.Grid, Breakdown, error) {
+	if opt.Envelope == nil {
+		t0 := c.Now()
+		local, _, err := core.ReadPartition(c, f, parser, readOpt)
+		if err != nil {
+			return nil, nil, Breakdown{}, fmt.Errorf("spatial: read: %w", err)
+		}
+		readTime := c.Now() - t0
+		trees, g, bd, err := BuildIndex(c, local, opt)
+		if err != nil {
+			return nil, nil, bd, err
+		}
+		bd.Read = readTime
+		bd.Total += readTime
+		return trees, g, bd, nil
+	}
+
+	start := c.Now()
+	s, err := BuildIndexStream(c, opt)
+	if err != nil {
+		return nil, nil, Breakdown{}, err
+	}
+	rstats, err := core.ReadStream(c, f, parser, readOpt, s.Add)
+	if err != nil {
+		// The read settled its error collectively: every rank abandons the
+		// exchange here, so nobody is stranded in Finish's collectives.
+		return nil, nil, Breakdown{}, fmt.Errorf("spatial: stream: %w", err)
+	}
+	trees, bd, err := s.Finish()
+	if err != nil {
+		return nil, s.Grid(), bd, err
+	}
+	bd.Read = rstats.IOTime + rstats.CommTime + rstats.ParseTime
+	bd.Total = c.Now() - start
+	return trees, s.Grid(), bd, nil
+}
+
+// RangeQueryFiles is the file-to-query pipeline: read a vector file,
+// grid-partition and index it, and evaluate a replicated batch of
+// rectangular range queries with filter-and-refine. With
+// JoinOptions.Envelope nil it runs two passes (ReadPartition, then
+// RangeQuery — historical behavior); with a caller-supplied envelope it
+// runs one pass, streaming parsed batches straight into the per-phase
+// index builder and querying the trees the moment the last phase lands —
+// the full local slice and the materialized owned-cells map never exist.
+// Returns this rank's un-aggregated breakdown; matches are per-rank until
+// aggregated. All ranks must call it collectively.
+func RangeQueryFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt core.ReadOptions, queries []geom.Envelope, opt JoinOptions) (Breakdown, error) {
+	if opt.Envelope == nil {
+		t0 := c.Now()
+		local, _, err := core.ReadPartition(c, f, parser, readOpt)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("spatial: read: %w", err)
+		}
+		readTime := c.Now() - t0
+		bd, err := RangeQuery(c, local, queries, opt)
+		if err != nil {
+			return bd, err
+		}
+		bd.Read = readTime
+		bd.Total += readTime
+		return bd, nil
+	}
+
+	start := c.Now()
+	if opt.Envelope.IsEmpty() {
+		return Breakdown{}, fmt.Errorf("spatial: streamed range query requires a non-empty envelope")
+	}
+	cols, rows := squareDims(opt.cells())
+	g, err := grid.New(*opt.Envelope, cols, rows)
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("spatial: grid: %w", err)
+	}
+	s, err := newIndexStream(c, g, opt.WindowCells)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	rstats, err := core.ReadStream(c, f, parser, readOpt, s.Add)
+	if err != nil {
+		return Breakdown{}, fmt.Errorf("spatial: stream: %w", err)
+	}
+	trees, bd, err := s.Finish()
+	if err != nil {
+		return bd, err
+	}
+	queryCells(c, g, trees, queries, opt, &bd)
+	bd.Read = rstats.IOTime + rstats.CommTime + rstats.ParseTime
+	bd.Total = c.Now() - start
+	return bd, nil
+}

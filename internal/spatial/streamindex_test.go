@@ -1,0 +1,320 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/rtree"
+	"repro/internal/wkt"
+)
+
+// mixedGeoms draws a randomized point/line/polygon mix in [0,100)^2 — the
+// shape diversity the property test feeds both index builders.
+func mixedGeoms(n int, seed int64) []geom.Geometry {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.Geometry, n)
+	for i := range out {
+		x, y := r.Float64()*100, r.Float64()*100
+		switch r.Intn(3) {
+		case 0:
+			out[i] = geom.Point{X: x, Y: y}
+		case 1:
+			out[i] = &geom.LineString{Pts: []geom.Point{
+				{X: x, Y: y},
+				{X: x + r.Float64()*10, Y: y + r.Float64()*10},
+				{X: x + r.Float64()*10, Y: y - r.Float64()*5},
+			}}
+		default:
+			e := geom.Envelope{MinX: x, MinY: y, MaxX: x + 0.5 + r.Float64()*7, MaxY: y + 0.5 + r.Float64()*7}
+			out[i] = e.ToPolygon()
+		}
+	}
+	return out
+}
+
+// renderTrees flattens per-cell trees to cell -> (cardinality, sorted WKT
+// multiset) for comparison.
+func renderTrees(trees map[int]*rtree.Tree[geom.Geometry]) map[int][]string {
+	out := make(map[int][]string, len(trees))
+	for cell, tr := range trees {
+		ws := make([]string, 0, tr.Len())
+		tr.Search(tr.Envelope(), func(_ geom.Envelope, v geom.Geometry) bool {
+			ws = append(ws, wkt.Format(v))
+			return true
+		})
+		sort.Strings(ws)
+		if len(ws) != tr.Len() {
+			// Enumeration through the tree's own envelope must see every
+			// member; anything else is a broken tree.
+			panic(fmt.Sprintf("cell %d: enumerated %d of %d members", cell, len(ws), tr.Len()))
+		}
+		out[cell] = ws
+	}
+	return out
+}
+
+// TestBuildIndexStreamMatchesBuildIndexProperty is the property-based
+// equivalence satellite: across randomized geometry mixes, batch shapes,
+// window widths, and grids deliberately smaller than the data extent
+// (so border-cell clamping is always exercised), the streaming
+// BuildIndexStream must produce cell indexes with exactly the cardinality
+// and geometry multiset of the materialized BuildIndex, plus identical
+// Indexed counters and (bitwise) identical index-phase timings.
+func TestBuildIndexStreamMatchesBuildIndexProperty(t *testing.T) {
+	const ranks = 3
+	prop := func(seed int64, nRaw uint16, batchRaw, windowRaw, fracRaw uint8) bool {
+		n := 50 + int(nRaw%400)
+		batch := 1 + int(batchRaw%64)
+		window := int(windowRaw % 9) // 0 = single phase
+		// Envelope covers a fraction (10%..100%) of the data extent, so a
+		// small fraction leaves most geometries outside the grid.
+		frac := 0.1 + float64(fracRaw%10)*0.1
+		env := geom.Envelope{MinX: 0, MinY: 0, MaxX: 100 * frac, MaxY: 100 * frac}
+		data := mixedGeoms(n, seed)
+		opt := IndexOptions{GridCells: 36, WindowCells: window, Envelope: &env}
+
+		// Each pipeline runs in its own session so both start from virtual
+		// time zero — the timing comparisons below are bitwise.
+		var mu sync.Mutex
+		wantSet := make([]map[int][]string, ranks)
+		gotSet := make([]map[int][]string, ranks)
+		wantBD := make([]Breakdown, ranks)
+		gotBD := make([]Breakdown, ranks)
+		err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			trees, _, bd, err := BuildIndex(c, scatter(data, c.Rank(), c.Size()), opt)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			wantSet[c.Rank()], wantBD[c.Rank()] = renderTrees(trees), bd
+			mu.Unlock()
+			return nil
+		})
+		if err == nil {
+			err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+				local := scatter(data, c.Rank(), c.Size())
+				s, err := BuildIndexStream(c, opt)
+				if err != nil {
+					return err
+				}
+				for off := 0; off < len(local); off += batch {
+					if err := s.Add(local[off:min(off+batch, len(local))]); err != nil {
+						return err
+					}
+				}
+				streamTrees, sbd, err := s.Finish()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				gotSet[c.Rank()], gotBD[c.Rank()] = renderTrees(streamTrees), sbd
+				mu.Unlock()
+				return nil
+			})
+		}
+		if err != nil {
+			t.Logf("seed=%d n=%d batch=%d window=%d frac=%.1f: %v", seed, n, batch, window, frac, err)
+			return false
+		}
+		for r := 0; r < ranks; r++ {
+			if !reflect.DeepEqual(gotSet[r], wantSet[r]) {
+				t.Logf("seed=%d n=%d batch=%d window=%d frac=%.1f: rank %d index contents diverged", seed, n, batch, window, frac, r)
+				return false
+			}
+			if gotBD[r].Indexed != wantBD[r].Indexed || gotBD[r].Index != wantBD[r].Index ||
+				gotBD[r].Partition != wantBD[r].Partition {
+				t.Logf("seed=%d rank %d: breakdown drifted: got %+v want %+v", seed, r, gotBD[r], wantBD[r])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeQueryEdgeCases pins the untested query-batch corners against a
+// brute-force oracle, including rank counts that don't square-factor the
+// grid evenly.
+func TestRangeQueryEdgeCases(t *testing.T) {
+	data := mixedGeoms(250, 81)
+	world := geom.Envelope{MinX: 0, MinY: 0, MaxX: 115, MaxY: 115}
+
+	oracle := func(queries []geom.Envelope) int64 {
+		var want int64
+		for _, q := range queries {
+			qp := q.ToPolygon()
+			for _, g := range data {
+				if geom.Intersects(g, qp) {
+					want++
+				}
+			}
+		}
+		return want
+	}
+	runQuery := func(ranks int, queries []geom.Envelope, opt JoinOptions) int64 {
+		var total int64
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			bd, err := RangeQuery(c, scatter(data, c.Rank(), c.Size()), queries, opt)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			total += bd.Pairs
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+
+	// A point inside a known polygon guarantees degenerate queries can hit.
+	inside := data[0].Envelope().Center()
+	cases := []struct {
+		name    string
+		queries []geom.Envelope
+	}{
+		{"empty batch", nil},
+		{"entirely outside the grid envelope", []geom.Envelope{
+			{MinX: 500, MinY: 500, MaxX: 510, MaxY: 510},
+			{MinX: -90, MinY: -90, MaxX: -80, MaxY: -80},
+		}},
+		{"degenerate point-sized rectangles", []geom.Envelope{
+			{MinX: inside.X, MinY: inside.Y, MaxX: inside.X, MaxY: inside.Y},
+			{MinX: 999, MinY: 999, MaxX: 999, MaxY: 999},
+		}},
+		{"mixed", []geom.Envelope{
+			{MinX: 10, MinY: 10, MaxX: 40, MaxY: 40},
+			{MinX: inside.X, MinY: inside.Y, MaxX: inside.X, MaxY: inside.Y},
+			{MinX: 300, MinY: 300, MaxX: 310, MaxY: 310},
+		}},
+	}
+	for _, tc := range cases {
+		want := oracle(tc.queries)
+		// 49 cells over 1, 3, and 5 ranks: 5 doesn't divide 49's 7x7
+		// square factorization, so ownership wraps unevenly.
+		for _, ranks := range []int{1, 3, 5} {
+			for _, env := range []*geom.Envelope{nil, &world} {
+				got := runQuery(ranks, tc.queries, JoinOptions{GridCells: 49, Envelope: env})
+				if got != want {
+					t.Errorf("%s ranks=%d envelope=%v: pairs = %d, oracle %d", tc.name, ranks, env != nil, got, want)
+				}
+			}
+		}
+	}
+	if oracle(cases[3].queries) == 0 {
+		t.Fatal("mixed case matched nothing; fixture too sparse")
+	}
+}
+
+// TestRangeQueryFilesTwoPassMatchesOnePass: the file-level entry must find
+// the oracle's matches through both its dispatch arms — envelope nil
+// (two-pass: ReadPartition + RangeQuery) and envelope given (one-pass
+// streamed) — and both must agree with the in-memory RangeQuery.
+func TestRangeQueryFilesTwoPassMatchesOnePass(t *testing.T) {
+	data := mixedGeoms(220, 82)
+	f := wktFile(t, "rqf.wkt", data)
+	queries := []geom.Envelope{
+		{MinX: 5, MinY: 5, MaxX: 45, MaxY: 45},
+		{MinX: 60, MinY: 60, MaxX: 95, MaxY: 95},
+		{MinX: 200, MinY: 200, MaxX: 210, MaxY: 210}, // outside
+	}
+	var want int64
+	for _, q := range queries {
+		qp := q.ToPolygon()
+		for _, g := range data {
+			if geom.Intersects(g, qp) {
+				want++
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("oracle found no matches; fixture too sparse")
+	}
+	world := core.LocalEnvelope(data)
+
+	for _, ranks := range []int{1, 4} {
+		for _, env := range []*geom.Envelope{nil, &world} {
+			var total int64
+			var mu sync.Mutex
+			err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+				bd, err := RangeQueryFiles(c, mpiio.Open(c, f, mpiio.Hints{}), core.NewWKTParser(),
+					core.ReadOptions{BlockSize: 1 << 10, StreamBatch: 19},
+					queries, JoinOptions{GridCells: 64, Envelope: env})
+				if err != nil {
+					return err
+				}
+				if env != nil && (bd.Read <= 0 || bd.Comm <= 0 || bd.Total <= 0) {
+					return fmt.Errorf("rank %d: streamed breakdown not populated: %+v", c.Rank(), bd)
+				}
+				mu.Lock()
+				total += bd.Pairs
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != want {
+				t.Errorf("ranks=%d envelope=%v: pairs = %d, oracle %d", ranks, env != nil, total, want)
+			}
+		}
+	}
+}
+
+// TestBuildIndexFilesTwoPassMatchesOnePass: both BuildIndexFiles dispatch
+// arms must index the identical per-cell contents when the supplied
+// envelope equals the one the two-pass Allreduce would derive.
+func TestBuildIndexFilesTwoPassMatchesOnePass(t *testing.T) {
+	data := mixedGeoms(200, 83)
+	f := wktFile(t, "bif.wkt", data)
+	world := core.LocalEnvelope(data)
+	const ranks = 3
+
+	run := func(env *geom.Envelope) []map[int][]string {
+		out := make([]map[int][]string, ranks)
+		var mu sync.Mutex
+		err := mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+			trees, g, bd, err := BuildIndexFiles(c, mpiio.Open(c, f, mpiio.Hints{}), core.NewWKTParser(),
+				core.ReadOptions{BlockSize: 1 << 10, StreamBatch: 21}, IndexOptions{GridCells: 36, Envelope: env})
+			if err != nil {
+				return err
+			}
+			if g == nil {
+				return fmt.Errorf("rank %d: nil grid", c.Rank())
+			}
+			if bd.Read <= 0 || bd.Indexed == 0 && c.Rank() == 0 && len(trees) == 0 {
+				return fmt.Errorf("rank %d: breakdown not populated: %+v", c.Rank(), bd)
+			}
+			mu.Lock()
+			out[c.Rank()] = renderTrees(trees)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	twoPass := run(nil)
+	onePass := run(&world)
+	for r := 0; r < ranks; r++ {
+		if !reflect.DeepEqual(onePass[r], twoPass[r]) {
+			t.Fatalf("rank %d: one-pass index contents differ from two-pass", r)
+		}
+	}
+}

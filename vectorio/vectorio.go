@@ -163,11 +163,52 @@
 // reused after each call while the geometries in it live on. See
 // examples/streamingest for a complete one-pass program.
 //
+// # Streamed indexing and queries
+//
+// The streaming pipeline extends past the exchange to the paper's
+// query-side workloads. The Exchanger's FinishStream delivers each
+// sliding-window phase's completed cells the moment that phase's payload
+// round lands (a cell's contents never grow after its phase), and
+// IndexStream builds on it: Add accepts geometry batches mid-read —
+// it is a ReadStream sink — and Finish bulk-loads each cell's R-tree as
+// its exchange phase completes, instead of after a fully materialized
+// exchange. BuildIndexFiles and RangeQueryFiles are the one-pass entry
+// points: file → stream → index (→ query) with no rank ever holding its
+// full local slice or owned-cells map. Like JoinFiles, they dispatch on
+// the envelope — nil runs the historical two-pass composition, non-nil
+// fixes the grid up front and streams:
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		world := vectorio.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+//		bd, err := vectorio.RangeQueryFiles(c, f, vectorio.NewWKTParser(),
+//			vectorio.ReadOptions{}, queries,
+//			vectorio.JoinOptions{Envelope: &world})
+//		...
+//	})
+//
+// The materialized BuildIndex and RangeQuery are thin wrappers over the
+// same streamed core (per-phase tree building inside the exchange), so
+// the two compositions produce identical per-cell indexes, query results,
+// stats, and — by construction — identical virtual-time trajectories;
+// internal/pipelinetest pins that equivalence bitwise across framings,
+// strategies, and worker counts, and BENCH_ingest.json's index_query rows
+// track the real-memory payoff (streamed peak heap at or below
+// materialized).
+//
+// A slow consumer no longer serializes with the read either:
+// ReadOptions.SinkOverlap moves the sink onto a dedicated goroutine with
+// a double-buffered hand-off (the sink drains batch N while the rank
+// parses batch N+1) — batch boundaries, stats, and the virtual clock are
+// unchanged, in exchange for the contract that an overlapped sink never
+// touches the Comm (IndexStream.Add and Exchanger.Add qualify). See
+// examples/streamquery for the complete file-to-query program.
+//
 // See the examples/ directory for complete programs: quickstart (parallel
 // read), wkbingest (the binary fast path vs text), streamingest (the
-// one-pass streaming pipeline), spatialjoin (the paper's end-to-end
-// exemplar), rangequery (filter-and-refine batch queries) and gridindex
-// (parallel R-tree construction).
+// one-pass streaming pipeline), streamquery (file → index → range query,
+// one pass), spatialjoin (the paper's end-to-end exemplar), rangequery
+// (filter-and-refine batch queries) and gridindex (parallel R-tree
+// construction).
 package vectorio
 
 import (
@@ -413,6 +454,11 @@ type (
 	IndexOptions = spatial.IndexOptions
 	// Breakdown is the per-phase timing of Figures 17-20.
 	Breakdown = spatial.Breakdown
+	// IndexStream is the streaming face of BuildIndex: Add accepts
+	// geometry batches mid-read (a ReadStream sink), Finish bulk-loads
+	// each cell's R-tree as its exchange phase completes. Open one with
+	// BuildIndexStream (see "Streamed indexing and queries" above).
+	IndexStream = spatial.IndexStream
 )
 
 // Workload entry points. All are collective calls.
@@ -425,9 +471,18 @@ var (
 	// BuildIndex grid-partitions geometries and builds one R-tree per
 	// owned cell (Figure 20's workload).
 	BuildIndex = spatial.BuildIndex
+	// BuildIndexStream opens a streaming index build (requires
+	// IndexOptions.Envelope; feed it from a ReadStream sink).
+	BuildIndexStream = spatial.BuildIndexStream
+	// BuildIndexFiles reads a vector file and builds the distributed
+	// per-cell index — one pass when IndexOptions.Envelope is set.
+	BuildIndexFiles = spatial.BuildIndexFiles
 	// RangeQuery evaluates a batch of rectangular queries with
 	// filter-and-refine.
 	RangeQuery = spatial.RangeQuery
+	// RangeQueryFiles is the file-to-query pipeline: read, index, and
+	// query in one pass when JoinOptions.Envelope is set.
+	RangeQueryFiles = spatial.RangeQueryFiles
 	// WriteCells writes distributed per-cell results to one shared file in
 	// global grid order through a non-contiguous collective write (§4.1's
 	// output pattern).

@@ -293,3 +293,113 @@ func TestStreamingFacade(t *testing.T) {
 		t.Errorf("partitioned %d points, want %d", total, n)
 	}
 }
+
+// TestStreamedIndexFacade drives the streamed indexing and query surface:
+// BuildIndexStream fed by an overlapped ReadStream sink, the one-call
+// BuildIndexFiles, and RangeQueryFiles — checking the streamed results
+// against the materialized BuildIndex/RangeQuery on the same layer.
+func TestStreamedIndexFacade(t *testing.T) {
+	fs, err := vectorio.NewFS(vectorio.RogerGPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := fs.Create("sq.wkt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		x, y := i%20, (i*7)%20
+		layer.Append([]byte(fmt.Sprintf(
+			"POLYGON ((%d %d, %d %d, %d %d, %d %d, %d %d))\n",
+			x, y, x+1, y, x+1, y+1, x, y+1, x, y)))
+	}
+	world := vectorio.Envelope{MinX: 0, MinY: 0, MaxX: 21, MaxY: 21}
+	queries := []vectorio.Envelope{
+		{MinX: 2, MinY: 2, MaxX: 9, MaxY: 9},
+		{MinX: 14.5, MinY: 14.5, MaxX: 14.5, MaxY: 14.5}, // degenerate
+		{MinX: 100, MinY: 100, MaxX: 110, MaxY: 110},     // outside
+	}
+	iopt := vectorio.IndexOptions{GridCells: 16, Envelope: &world}
+	jopt := vectorio.JoinOptions{GridCells: 16, Envelope: &world}
+	readOpt := vectorio.ReadOptions{BlockSize: 512, StreamBatch: 16, SinkOverlap: true}
+
+	var mu sync.Mutex
+	streamedCells := map[int]int{}
+	filesCells := map[int]int{}
+	materializedCells := map[int]int{}
+	var streamedPairs, materializedPairs int64
+	err = vectorio.Run(vectorio.Local(3), func(c *vectorio.Comm) error {
+		f := vectorio.Open(c, layer, vectorio.Hints{})
+
+		// Explicit composition: BuildIndexStream fed through an overlapped
+		// ReadStream sink.
+		s, err := vectorio.BuildIndexStream(c, iopt)
+		if err != nil {
+			return err
+		}
+		if _, err := vectorio.ReadStream(c, f, vectorio.NewWKTParser(), readOpt, s.Add); err != nil {
+			return err
+		}
+		trees, _, err := s.Finish()
+		if err != nil {
+			return err
+		}
+
+		// One-call compositions.
+		trees2, _, _, err := vectorio.BuildIndexFiles(c, f, vectorio.NewWKTParser(), readOpt, iopt)
+		if err != nil {
+			return err
+		}
+		qbd, err := vectorio.RangeQueryFiles(c, f, vectorio.NewWKTParser(), readOpt, queries, jopt)
+		if err != nil {
+			return err
+		}
+
+		// Materialized reference.
+		local, _, err := vectorio.ReadPartition(c, f, vectorio.NewWKTParser(), readOpt)
+		if err != nil {
+			return err
+		}
+		trees3, _, _, err := vectorio.BuildIndex(c, local, iopt)
+		if err != nil {
+			return err
+		}
+		mbd, err := vectorio.RangeQuery(c, local, queries, jopt)
+		if err != nil {
+			return err
+		}
+
+		mu.Lock()
+		for cell, tr := range trees {
+			streamedCells[cell] += tr.Len()
+		}
+		for cell, tr := range trees2 {
+			filesCells[cell] += tr.Len()
+		}
+		for cell, tr := range trees3 {
+			materializedCells[cell] += tr.Len()
+		}
+		streamedPairs += qbd.Pairs
+		materializedPairs += mbd.Pairs
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(materializedCells) == 0 || materializedPairs == 0 {
+		t.Fatalf("materialized reference empty: %d cells, %d pairs", len(materializedCells), materializedPairs)
+	}
+	for cell, want := range materializedCells {
+		if streamedCells[cell] != want {
+			t.Errorf("cell %d: streamed %d geoms, materialized %d", cell, streamedCells[cell], want)
+		}
+		if filesCells[cell] != want {
+			t.Errorf("cell %d: BuildIndexFiles %d geoms, materialized %d", cell, filesCells[cell], want)
+		}
+	}
+	if streamedPairs != materializedPairs {
+		t.Errorf("RangeQueryFiles pairs %d, RangeQuery %d", streamedPairs, materializedPairs)
+	}
+}
