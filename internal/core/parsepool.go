@@ -64,7 +64,7 @@ func (b *parseBatch) run(p Parser, fr Framing, scale float64) {
 		}
 		g, err := p.Parse(rec)
 		if err != nil {
-			b.fail(fmt.Errorf("core: parse error in record %q: %w", truncRecord(rec), err))
+			b.fail(fmt.Errorf("parse error in record %q: %w", truncRecord(rec), err))
 			return
 		}
 		if g == nil {
@@ -180,7 +180,7 @@ func (pc *parseCtx) mergeOldest() {
 	pc.stats.Records += b.records
 	pc.stats.Errors += b.errs
 	if b.firstErr != nil && !pc.opt.SkipErrors && pc.firstErr == nil {
-		pc.firstErr = b.firstErr
+		pc.firstErr = pc.stamp(b.firstErr)
 	}
 	if b.cost > 0 {
 		pc.c.Compute(b.cost)

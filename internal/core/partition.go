@@ -44,23 +44,41 @@ func appendExchangeFrame(dst []byte, cell int, g geom.Geometry) ([]byte, error) 
 // consuming fewer bytes than the frame announced, with no error) are
 // distinct failures: wrapping a nil error would print a garbage
 // "%!w(<nil>)" message, so the short decode is reported explicitly.
+// Callers add the rank/phase/source context; the messages here describe only
+// the frame itself.
 func decodeExchangeFrame(part []byte) (cell int, g geom.Geometry, rest []byte, err error) {
 	if len(part) < exchangeHeader {
-		return 0, nil, nil, fmt.Errorf("core: truncated exchange frame header")
+		return 0, nil, nil, fmt.Errorf("truncated exchange frame header")
 	}
 	cell = int(binary.LittleEndian.Uint32(part[0:]))
-	plen := int(binary.LittleEndian.Uint32(part[4:]))
-	if len(part) < exchangeHeader+plen {
-		return 0, nil, nil, fmt.Errorf("core: truncated exchange frame payload")
+	plen := int64(binary.LittleEndian.Uint32(part[4:]))
+	if int64(len(part)) < int64(exchangeHeader)+plen {
+		return 0, nil, nil, fmt.Errorf("truncated exchange frame payload")
 	}
-	g, used, derr := wkb.Decode(part[exchangeHeader : exchangeHeader+plen])
+	g, used, derr := wkb.Decode(part[exchangeHeader : int64(exchangeHeader)+plen])
 	if derr != nil {
-		return 0, nil, nil, fmt.Errorf("core: exchange payload decode: %w", derr)
+		return 0, nil, nil, fmt.Errorf("exchange payload decode: %w", derr)
 	}
-	if used != plen {
-		return 0, nil, nil, fmt.Errorf("core: exchange payload decode: geometry ends after %d of %d framed bytes", used, plen)
+	if int64(used) != plen {
+		return 0, nil, nil, fmt.Errorf("exchange payload decode: geometry ends after %d of %d framed bytes", used, plen)
 	}
-	return cell, g, part[exchangeHeader+plen:], nil
+	return cell, g, part[int64(exchangeHeader)+plen:], nil
+}
+
+// quarantineFrame skips past one undecodable frame: if the announced length
+// field is plausible, exactly that frame is dropped and decoding resumes at
+// the next one; otherwise the header itself is suspect and the rest of the
+// partition is surrendered (frames are not self-synchronizing). Returns the
+// bytes given up and the remainder. All arithmetic is 64-bit — a corrupted
+// length field must not overflow int on 32-bit builds.
+func quarantineFrame(part []byte) (skipped int, rest []byte) {
+	if len(part) >= exchangeHeader {
+		plen := int64(binary.LittleEndian.Uint32(part[4:]))
+		if end := int64(exchangeHeader) + plen; end <= int64(len(part)) {
+			return int(end), part[end:]
+		}
+	}
+	return len(part), nil
 }
 
 // Partitioner carries out the global spatial partitioning of §4.2.3: local
@@ -83,6 +101,17 @@ type Partitioner struct {
 	// with direct uniform-grid arithmetic. The assignments are identical;
 	// the arithmetic is cheaper (see the ablation-cellindex experiment).
 	DirectGrid bool
+	// SkipBadFrames quarantines received exchange frames that fail to
+	// decode (or claim cells this rank does not own) instead of failing the
+	// exchange: the offending frame is skipped, counted in
+	// ExchangeStats.FramesQuarantined/BytesQuarantined, and the phase
+	// continues. Off by default — a corrupted frame is an error.
+	SkipBadFrames bool
+	// FrameFault, when non-nil, inspects (and may mutate in place) every
+	// received exchange partition before it is decoded: an injection point
+	// for corruption testing (see internal/fault). The disabled path costs
+	// one nil check per partition.
+	FrameFault func(phase, src int, part []byte)
 }
 
 // ExchangeStats reports one rank's partitioning work. Times are virtual
@@ -103,6 +132,11 @@ type ExchangeStats struct {
 	GeomsRecv int
 	// BytesSent counts serialized payload bytes shipped by this rank.
 	BytesSent int64
+	// FramesQuarantined counts received frames dropped under SkipBadFrames
+	// (zero when the policy is off — bad frames fail the exchange instead).
+	FramesQuarantined int
+	// BytesQuarantined counts the received bytes those frames surrendered.
+	BytesQuarantined int64
 }
 
 // mapping returns the effective cell-to-rank mapping.
@@ -229,6 +263,11 @@ type Exchanger struct {
 	lateSer    bool
 	placements []placement
 
+	// skipBad and frameFault mirror Partitioner.SkipBadFrames and
+	// Partitioner.FrameFault for the receive path.
+	skipBad    bool
+	frameFault func(phase, src int, part []byte)
+
 	stats ExchangeStats
 	done  bool
 }
@@ -258,13 +297,15 @@ func (pt *Partitioner) stream(c *mpi.Comm, lateSer bool) (*Exchanger, error) {
 		return nil, fmt.Errorf("core: grid has %d cells; exchange frame headers address at most 2^32", numCells)
 	}
 	ex := &Exchanger{
-		c:        c,
-		mapping:  pt.mapping(),
-		grid:     pt.Grid,
-		scale:    c.Config().Scale(),
-		size:     c.Size(),
-		numCells: numCells,
-		lateSer:  lateSer,
+		c:          c,
+		mapping:    pt.mapping(),
+		grid:       pt.Grid,
+		scale:      c.Config().Scale(),
+		size:       c.Size(),
+		numCells:   numCells,
+		lateSer:    lateSer,
+		skipBad:    pt.SkipBadFrames,
+		frameFault: pt.FrameFault,
 	}
 	if !pt.DirectGrid {
 		ex.cellIndex = grid.NewCellIndex(pt.Grid)
@@ -483,16 +524,28 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 
 		// Deserialize into this phase's owned cells.
 		phaseCells := make(map[int][]geom.Geometry)
-		for _, part := range parts {
+		for src, part := range parts {
+			if ex.frameFault != nil {
+				ex.frameFault(ph, src, part)
+			}
 			c.Compute(costmodel.DeserializePerByte * float64(len(part)) * ex.scale)
 			var deserGeomCost float64
 			for len(part) > 0 {
 				cell, g, rest, err := decodeExchangeFrame(part)
-				if err != nil {
-					return ex.stats, err
+				if err == nil {
+					if own := ex.mapping(cell, ex.size); own != rank {
+						err = fmt.Errorf("received cell %d owned by rank %d", cell, own)
+					}
 				}
-				if own := ex.mapping(cell, ex.size); own != rank {
-					return ex.stats, fmt.Errorf("core: received cell %d owned by rank %d on rank %d", cell, own, rank)
+				if err != nil {
+					if !ex.skipBad {
+						return ex.stats, fmt.Errorf("core: rank %d exchange phase %d from rank %d: %w", rank, ph, src, err)
+					}
+					skipped, tail := quarantineFrame(part)
+					ex.stats.FramesQuarantined++
+					ex.stats.BytesQuarantined += int64(skipped)
+					part = tail
+					continue
 				}
 				phaseCells[cell] = append(phaseCells[cell], g)
 				ex.stats.GeomsRecv++

@@ -43,6 +43,12 @@ var ErrRemoteParse = errors.New("core: parse failure on another rank")
 // error; the failing rank returns the sink's error.
 var ErrRemoteSink = errors.New("core: sink failure on another rank")
 
+// ioErr is the one wrapping format every reader I/O, exchange, and decode
+// error carries: rank, file, byte offset, then the failing step and cause.
+func ioErr(rank int, file string, off int64, what string, err error) error {
+	return fmt.Errorf("core: rank %d file %q offset %d: %s: %w", rank, file, off, what, err)
+}
+
 // ReadOptions configures ReadPartition.
 type ReadOptions struct {
 	// BlockSize is the bytes each process reads per iteration (real bytes;
@@ -315,7 +321,8 @@ func (ar *readArena) appendFragsReversed(dst []byte) []byte {
 // trailing fragment without knowing the stream phase at its block's first
 // byte.
 func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
-	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), sink)
+	file := f.PFSFile().Name()
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), file, sink)
 	defer pc.close()
 	n := c.Size()
 	rank := c.Rank()
@@ -342,7 +349,7 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 		t0 := c.Now()
 		block, err := ar.readBlock(c, f, opt.Level, start, length)
 		if err != nil {
-			return nil, pc.stats, fmt.Errorf("core: iteration %d read: %w", i, err)
+			return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d read", i), err)
 		}
 		pc.stats.IOTime += c.Now() - t0
 		pc.stats.BytesRead += int64(len(block))
@@ -408,17 +415,17 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 			// rendezvous sends.
 			if rank%2 == 0 {
 				if err := sendOwn(); err != nil {
-					return nil, pc.stats, fmt.Errorf("core: fragment send: %w", err)
+					return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d fragment send", i), err)
 				}
 			}
 			for {
 				payload, final, err := ar.recvFragment(c, prev)
 				if err != nil {
-					return nil, pc.stats, fmt.Errorf("core: fragment recv: %w", err)
+					return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d fragment recv", i), err)
 				}
 				if !sentOwn {
 					if err := sendOwn(); err != nil {
-						return nil, pc.stats, fmt.Errorf("core: fragment send: %w", err)
+						return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d fragment send", i), err)
 					}
 				}
 				switch {
@@ -428,7 +435,7 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 					ar.pushFrag(payload)
 				case passThrough:
 					if err := ar.sendFragment(c, next, final, payload); err != nil {
-						return nil, pc.stats, fmt.Errorf("core: fragment relay: %w", err)
+						return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d fragment relay", i), err)
 					}
 				default:
 					ar.pushFrag(payload)
@@ -496,7 +503,8 @@ func readMessage(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 // owns end-of-file: nothing flows past it, and leftover bytes there are
 // settled by the framing's EOF rule (for binary records, truncation).
 func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
-	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), sink)
+	file := f.PFSFile().Name()
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), file, sink)
 	defer pc.close()
 	n := c.Size()
 	rank := c.Rank()
@@ -523,7 +531,7 @@ func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr 
 		t0 := c.Now()
 		block, err := ar.readBlock(c, f, opt.Level, start, length)
 		if err != nil {
-			return nil, pc.stats, fmt.Errorf("core: iteration %d read: %w", i, err)
+			return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d read", i), err)
 		}
 		pc.stats.IOTime += c.Now() - t0
 		pc.stats.BytesRead += int64(len(block))
@@ -538,7 +546,7 @@ func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr 
 			t1 := c.Now()
 			payload, _, err := ar.recvFragment(c, prev)
 			if err != nil {
-				return nil, pc.stats, fmt.Errorf("core: chain recv: %w", err)
+				return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d chain recv", i), err)
 			}
 			prefix = payload
 			pc.stats.CommTime += c.Now() - t1
@@ -591,7 +599,7 @@ func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr 
 				serr = ar.sendFragment(c, next, true, tail)
 			}
 			if serr != nil {
-				return nil, pc.stats, fmt.Errorf("core: chain send: %w", serr)
+				return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d chain send", i), serr)
 			}
 			pc.stats.CommTime += c.Now() - t1
 		}
@@ -625,7 +633,7 @@ func readMessageChain(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr 
 			t1 := c.Now()
 			payload, _, err := ar.recvFragment(c, prev)
 			if err != nil {
-				return nil, pc.stats, fmt.Errorf("core: chain carry recv: %w", err)
+				return nil, pc.stats, ioErr(rank, file, start, fmt.Sprintf("iteration %d chain carry recv", i), err)
 			}
 			pc.stats.CommTime += c.Now() - t1
 			ar.stashCarry(payload)
@@ -703,7 +711,8 @@ func (ar *readArena) recvFragment(c *mpi.Comm, src int) ([]byte, bool, error) {
 // zero data bytes exchanged; the token is 8 bytes against MaxGeomSize of
 // redundant read per block.
 func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Framing, blockSize int64, sink func([]geom.Geometry) error) ([]geom.Geometry, ReadStats, error) {
-	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), sink)
+	file := f.PFSFile().Name()
+	pc := newParseCtx(c, p, opt, fr, f.PFSFile().Scale(), file, sink)
 	defer pc.close()
 	n := int64(c.Size())
 	rank := int64(c.Rank())
@@ -739,7 +748,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 		t0 := c.Now()
 		block, err := ar.readBlock(c, f, opt.Level, extStart, extLen)
 		if err != nil {
-			return nil, pc.stats, fmt.Errorf("core: overlap iteration %d read: %w", i, err)
+			return nil, pc.stats, ioErr(c.Rank(), file, extStart, fmt.Sprintf("overlap iteration %d read", i), err)
 		}
 		pc.stats.IOTime += c.Now() - t0
 		pc.stats.BytesRead += int64(len(block))
@@ -751,7 +760,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 			t1 := c.Now()
 			var tok [8]byte
 			if _, err := c.Recv(tok[:], intPrev, tagPhase); err != nil {
-				return nil, pc.stats, fmt.Errorf("core: phase token recv: %w", err)
+				return nil, pc.stats, ioErr(c.Rank(), file, start, fmt.Sprintf("overlap iteration %d phase token recv", i), err)
 			}
 			token = int64(binary.LittleEndian.Uint64(tok[:]))
 			pc.stats.CommTime += c.Now() - t1
@@ -773,7 +782,9 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 				}
 			default:
 				if token < start {
-					return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: phase token %d behind partition start %d", i, c.Rank(), token, start)
+					return nil, pc.stats, ioErr(c.Rank(), file, start,
+						fmt.Sprintf("overlap iteration %d", i),
+						fmt.Errorf("phase token %d behind partition start %d", token, start))
 				}
 				if token < start+length {
 					pos = token - extStart
@@ -792,7 +803,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 				_, framed, ok := fr.next(block[hop:])
 				if !ok {
 					if extStart+int64(len(block)) < fileSize {
-						return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+						return nil, pc.stats, ioErr(c.Rank(), file, start, fmt.Sprintf("overlap iteration %d", i), ErrGeometryTooLarge)
 					}
 					hop = int64(len(block)) // file ends inside the record; the parse loop settles it
 					break
@@ -809,7 +820,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 			var tok [8]byte
 			binary.LittleEndian.PutUint64(tok[:], uint64(token))
 			if err := c.Send(tok[:], intNext, tagPhase); err != nil {
-				return nil, pc.stats, fmt.Errorf("core: phase token send: %w", err)
+				return nil, pc.stats, ioErr(c.Rank(), file, start, fmt.Sprintf("overlap iteration %d phase token send", i), err)
 			}
 			pc.stats.CommTime += c.Now() - t1
 		}
@@ -837,7 +848,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 				// (settled by the framing's EOF rule) or it overflows the
 				// halo.
 				if extStart+int64(len(block)) < fileSize {
-					return nil, pc.stats, fmt.Errorf("core: overlap iteration %d rank %d: %w", i, c.Rank(), ErrGeometryTooLarge)
+					return nil, pc.stats, ioErr(c.Rank(), file, start, fmt.Sprintf("overlap iteration %d", i), ErrGeometryTooLarge)
 				}
 				if payload, emit, err := fr.eofTail(block[pos:]); err != nil {
 					pc.fail(err)
@@ -861,6 +872,7 @@ type parseCtx struct {
 	opt      ReadOptions
 	fr       Framing
 	scale    float64
+	file     string
 	geoms    []geom.Geometry
 	stats    ReadStats
 	firstErr error
@@ -903,8 +915,8 @@ const defaultStreamBatch = 256
 // the worker pool when ParseWorkers asks for one. Callers must pc.close()
 // on every exit path (finish does it on the success path; a deferred close
 // is idempotent and covers errors).
-func newParseCtx(c *mpi.Comm, p Parser, opt ReadOptions, fr Framing, scale float64, sink func([]geom.Geometry) error) *parseCtx {
-	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: scale, sink: sink}
+func newParseCtx(c *mpi.Comm, p Parser, opt ReadOptions, fr Framing, scale float64, file string, sink func([]geom.Geometry) error) *parseCtx {
+	pc := &parseCtx{c: c, p: p, opt: opt, fr: fr, scale: scale, file: file, sink: sink}
 	if sink != nil {
 		pc.batchTarget = opt.StreamBatch
 		if pc.batchTarget <= 0 {
@@ -1069,7 +1081,7 @@ func parseRegion(fr Framing, data []byte, atEOF bool, one func([]byte), fail fun
 				// Callers hand parseRegion whole-record regions; leftover
 				// away from EOF is a framing invariant breach, not file
 				// truncation.
-				fail(fmt.Errorf("core: internal: %d unframed trailing bytes in record region", len(data)))
+				fail(fmt.Errorf("internal: %d unframed trailing bytes in record region", len(data)))
 			case err != nil:
 				fail(err)
 			case emit:
@@ -1092,7 +1104,7 @@ func (pc *parseCtx) one(rec []byte) {
 	t0 := pc.c.Now()
 	g, err := pc.p.Parse(rec)
 	if err != nil {
-		pc.fail(fmt.Errorf("core: parse error in record %q: %w", truncRecord(rec), err))
+		pc.fail(fmt.Errorf("parse error in record %q: %w", truncRecord(rec), err))
 		return
 	}
 	if g == nil {
@@ -1114,8 +1126,16 @@ func (pc *parseCtx) fail(err error) {
 	pc.drain()
 	pc.stats.Errors++
 	if !pc.opt.SkipErrors && pc.firstErr == nil {
-		pc.firstErr = err
+		pc.firstErr = pc.stamp(err)
 	}
+}
+
+// stamp anchors a deferred record-level error to its rank and file — the
+// same context ioErr gives immediate I/O errors. Record errors have no
+// single block offset once parallel batches interleave, so none is claimed;
+// the record text in the cause pins the location instead.
+func (pc *parseCtx) stamp(err error) error {
+	return fmt.Errorf("core: rank %d file %q: %w", pc.c.Rank(), pc.file, err)
 }
 
 // finish joins any outstanding parse batches, stops the workers, delivers

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -53,6 +54,12 @@ type World struct {
 	syncHub *syncHub
 
 	timeout time.Duration
+	fault   FaultInjector
+
+	// blocked[r] is what rank r is currently blocked on (nil when it is
+	// running). Written only by rank r; read by any rank assembling a
+	// deadlock or crash diagnostic.
+	blocked []atomic.Pointer[BlockedOp]
 
 	abortOnce sync.Once
 	abortCh   chan struct{}
@@ -71,6 +78,10 @@ type Options struct {
 	// OpByteCost overrides the modeled cost of combining one byte in a
 	// reduction (default 0.25 ns/byte).
 	OpByteCost float64
+	// Fault installs a fault injector consulted at every communicator
+	// operation (see FaultInjector). Nil — the default — disables
+	// injection; the hook then costs one nil check per operation.
+	Fault FaultInjector
 }
 
 // Run launches fn on cfg.Size() ranks and waits for all of them. The first
@@ -92,6 +103,8 @@ func RunOpt(cfg *cluster.Config, opt Options, fn func(c *Comm) error) error {
 		boxes:      make([]*mailbox, n),
 		syncHub:    newSyncHub(n),
 		timeout:    defaultOpTimeout,
+		fault:      opt.Fault,
+		blocked:    make([]atomic.Pointer[BlockedOp], n),
 		abortCh:    make(chan struct{}),
 		opByteCost: 0.25e-9,
 	}
@@ -135,6 +148,12 @@ func RunOpt(cfg *cluster.Config, opt Options, fn func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if cp, ok := p.(crashPanic); ok {
+						err := &CrashError{Rank: rank, OpIndex: cp.op.Index, Op: cp.op.Kind, Blocked: w.snapshotBlocked()}
+						errs[rank] = err
+						w.abort(err)
+						return
+					}
 					err := fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, p, debug.Stack())
 					errs[rank] = err
 					w.abort(err)
@@ -188,6 +207,20 @@ func (w *World) aborted() bool {
 	}
 }
 
+// snapshotBlocked collects what every currently blocked rank is waiting on,
+// in rank order. Racy by nature — ranks keep moving while the snapshot is
+// taken — but each entry is a consistent *BlockedOp published by its own
+// rank, which is all a diagnostic needs.
+func (w *World) snapshotBlocked() []BlockedOp {
+	var out []BlockedOp
+	for r := range w.blocked {
+		if b := w.blocked[r].Load(); b != nil {
+			out = append(out, *b)
+		}
+	}
+	return out
+}
+
 // Comm is one rank's handle on the world — the equivalent of
 // MPI_COMM_WORLD from that rank's point of view. A Comm is owned by its
 // rank's goroutine and must not be shared.
@@ -196,9 +229,31 @@ type Comm struct {
 	rank  int
 	clock simtime.Clock
 
+	// opIndex counts communicator operations on this rank, advanced only
+	// while a fault injector is installed (see faultPoint).
+	opIndex int
+
 	// stats
 	bytesSent int64
 	msgsSent  int64
+}
+
+// setBlocked publishes what this rank is about to block on and returns the
+// entry so the caller can fold it into a DeadlockError on watchdog expiry.
+func (c *Comm) setBlocked(kind OpKind, peer, tag int, key string) *BlockedOp {
+	b := &BlockedOp{Rank: c.rank, Op: kind, Peer: peer, Tag: tag, Key: key, VTime: c.clock.Now()}
+	c.world.blocked[c.rank].Store(b)
+	return b
+}
+
+// clearBlocked marks this rank as running again.
+func (c *Comm) clearBlocked() { c.world.blocked[c.rank].Store(nil) }
+
+// deadlockError builds the diagnostic form of ErrDeadlock for an operation
+// that hit the watchdog: the failing operation plus a snapshot of every
+// blocked rank, taken while this rank's own entry is still published.
+func (c *Comm) deadlockError(op BlockedOp) error {
+	return &DeadlockError{Op: op, Blocked: c.world.snapshotBlocked()}
 }
 
 // Rank returns this process's rank in [0, Size).

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -39,6 +40,18 @@ func (h *syncHub) wakeAll() { h.cond.Broadcast() }
 // indexed by rank, and hands outputs[rank] back to each rank. Ranks may
 // reuse a key for successive rounds; rounds are kept separate.
 func (c *Comm) WorldSync(key string, input any, compute func(inputs []any) []any) (any, error) {
+	c.faultPoint(OpSync, -1, 0)
+	bop := c.setBlocked(OpSync, -1, 0, key)
+	defer c.clearBlocked()
+	out, err := c.worldSync(key, input, compute)
+	if err != nil && errors.Is(err, ErrDeadlock) {
+		err = c.deadlockError(*bop)
+	}
+	return out, err
+}
+
+// worldSync is the rendezvous body behind WorldSync.
+func (c *Comm) worldSync(key string, input any, compute func(inputs []any) []any) (any, error) {
 	w := c.world
 	h := w.syncHub
 	deadline := time.Now().Add(w.timeout)

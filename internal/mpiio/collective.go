@@ -1,6 +1,7 @@
 package mpiio
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/pfs"
@@ -31,6 +32,14 @@ type readPlan struct {
 
 type span struct {
 	off, length int64
+}
+
+// collReq is one rank's contribution to the ReadAtAll rendezvous: its
+// request span plus whether the request was locally rejected (ROMIO limit),
+// so rejection fails the collective in-band on every rank.
+type collReq struct {
+	req    span
+	failed bool
 }
 
 func (s span) end() int64 { return s.off + s.length }
@@ -210,16 +219,27 @@ func (p *readPlan) aggIndex(rank int) int {
 // exchange. Every rank of the communicator must call it (inactive ranks
 // pass an empty buffer), as MPI requires.
 func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
-	if err := f.checkLimit(len(buf)); err != nil {
-		return 0, err
-	}
-	myReq := span{off: off, length: int64(len(buf))}
+	// A locally rejected request still joins the rendezvous — bailing out
+	// before it would strand the other ranks — and fails the whole
+	// collective in-band via the shared plan.
+	limitErr := f.checkLimit(len(buf))
+	myReq := collReq{req: span{off: off, length: int64(len(buf))}, failed: limitErr != nil}
 	planAny, err := f.comm.WorldSync("mpiio.coll:"+f.pf.Name(), myReq, func(inputs []any) []any {
 		reqs := make([]span, len(inputs))
+		failed := -1
 		for i, in := range inputs {
-			reqs[i] = in.(span)
+			cr := in.(collReq)
+			reqs[i] = cr.req
+			if cr.failed && failed < 0 {
+				failed = i
+			}
 		}
-		plan := f.buildPlan(reqs)
+		var plan *readPlan
+		if failed >= 0 {
+			plan = &readPlan{err: fmt.Errorf("%w: rank %d rejected collective read", ErrRemoteRead, failed)}
+		} else {
+			plan = f.buildPlan(reqs)
+		}
 		outs := make([]any, len(inputs))
 		for i := range outs {
 			outs[i] = plan
@@ -231,6 +251,9 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 	}
 	plan := planAny.(*readPlan)
 	if plan.err != nil {
+		if limitErr != nil {
+			return 0, limitErr // this rank's own rejection, concretely
+		}
 		return 0, plan.err
 	}
 	rank := f.comm.Rank()
@@ -247,7 +270,12 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 			slice = plan.cycleSlice(myAgg, c)
 			if slice.length > 0 {
 				data = f.growAggBuf(int(slice.length))
-				if _, rerr := f.pf.ReadAt(data, slice.off); rerr != nil && rerr != io.EOF {
+				// A permanent read failure here (after the shared plan was
+				// agreed) surfaces on this rank only; the world abort then
+				// releases the peers from the exchange with ErrAborted —
+				// best-effort teardown rather than in-band agreement, but
+				// still: every rank errors, nobody hangs.
+				if _, rerr := f.fillAt(data, slice.off); rerr != nil && rerr != io.EOF {
 					return 0, rerr
 				}
 				f.comm.Compute(plan.aggTime[c][myAgg])

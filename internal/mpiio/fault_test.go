@@ -1,0 +1,182 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+func faultFS(t *testing.T, size int) (*pfs.FS, *pfs.File) {
+	t.Helper()
+	fs, err := pfs.New(pfs.BasicNFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := fs.Create("data", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	pf.Write(content)
+	return fs, pf
+}
+
+func TestReadAtTransientAbsorbed(t *testing.T) {
+	fs, pf := faultFS(t, 4096)
+	var mu sync.Mutex
+	fires := 0
+	fs.InjectReadFault(func(file string, off int64, n, stripe int) pfs.ReadFault {
+		mu.Lock()
+		defer mu.Unlock()
+		if off == 0 && fires < 2 {
+			fires++
+			return pfs.ReadFault{Err: fmt.Errorf("OST hiccup: %w", pfs.ErrTransientRead)}
+		}
+		return pfs.ReadFault{}
+	})
+	defer fs.InjectReadFault(nil)
+	var after float64
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 1024)
+		n, err := f.ReadAt(buf, 0)
+		if err != nil {
+			return err
+		}
+		if n != 1024 || buf[5] != 5 {
+			return fmt.Errorf("retried read returned n=%d buf[5]=%d", n, buf[5])
+		}
+		after = c.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fires != 2 {
+		t.Errorf("hook fired %d times, want 2", fires)
+	}
+	// Two retries charge retryBackoff + 2*retryBackoff of virtual time on
+	// top of the modeled read.
+	if after < 3*retryBackoff {
+		t.Errorf("virtual clock %v does not include the retry backoff", after)
+	}
+}
+
+func TestReadAtTransientExhausted(t *testing.T) {
+	fs, pf := faultFS(t, 4096)
+	fs.InjectReadFault(func(file string, off int64, n, stripe int) pfs.ReadFault {
+		return pfs.ReadFault{Err: fmt.Errorf("always down: %w", pfs.ErrTransientRead)}
+	})
+	defer fs.InjectReadFault(nil)
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		_, err := f.ReadAt(make([]byte, 64), 0)
+		return err
+	})
+	if err == nil || !errors.Is(err, pfs.ErrTransientRead) {
+		t.Fatalf("err = %v, want exhausted-retries transient error", err)
+	}
+}
+
+func TestReadAtShortReadContinues(t *testing.T) {
+	fs, pf := faultFS(t, 4096)
+	var mu sync.Mutex
+	shorted := false
+	fs.InjectReadFault(func(file string, off int64, n, stripe int) pfs.ReadFault {
+		mu.Lock()
+		defer mu.Unlock()
+		if off == 0 && !shorted {
+			shorted = true
+			return pfs.ReadFault{Short: 100}
+		}
+		return pfs.ReadFault{}
+	})
+	defer fs.InjectReadFault(nil)
+	err := mpi.Run(cluster.Local(1), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 1024)
+		n, err := f.ReadAt(buf, 0)
+		if err != nil {
+			return err
+		}
+		want := make([]byte, 1024)
+		for i := range want {
+			want[i] = byte(i)
+		}
+		if n != 1024 || !bytes.Equal(buf, want) {
+			return fmt.Errorf("short read not continued: n=%d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shorted {
+		t.Error("short-read hook never fired")
+	}
+}
+
+func TestReadAtSyncRemoteAgreement(t *testing.T) {
+	// Rank 1's stripe is permanently unreadable. Rank 1 must get the
+	// concrete error; rank 0's own successful read must still end in
+	// ErrRemoteRead — collective agreement, nobody stranded in the sync.
+	fs, pf := faultFS(t, 4096)
+	diskErr := errors.New("pfs: OST 3 offline")
+	fs.InjectReadFault(func(file string, off int64, n, stripe int) pfs.ReadFault {
+		if off == 1024 {
+			return pfs.ReadFault{Err: diskErr}
+		}
+		return pfs.ReadFault{}
+	})
+	defer fs.InjectReadFault(nil)
+	errs := make([]error, 2)
+	if err := mpi.Run(cluster.Local(2), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		buf := make([]byte, 1024)
+		_, errs[c.Rank()] = f.ReadAtSync(buf, int64(c.Rank())*1024)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[1], diskErr) {
+		t.Errorf("failing rank err = %v, want the concrete disk error", errs[1])
+	}
+	if !errors.Is(errs[0], ErrRemoteRead) {
+		t.Errorf("healthy rank err = %v, want ErrRemoteRead", errs[0])
+	}
+}
+
+func TestReadAtAllLimitAgreement(t *testing.T) {
+	// One rank's request exceeds the ROMIO limit: the whole collective must
+	// fail in-band — the offender with ErrTooLarge, the others with
+	// ErrRemoteRead — instead of the offender abandoning the rendezvous.
+	_, pf := faultFS(t, 4096)
+	pf.SetScale(1 << 30) // each real byte stands for 1 GiB
+	errs := make([]error, 2)
+	if err := mpi.Run(cluster.Local(2), func(c *mpi.Comm) error {
+		f := Open(c, pf, Hints{})
+		size := 1
+		if c.Rank() == 1 {
+			size = 8 // 8 GiB virtual: over the 2 GB single-call limit
+		}
+		_, errs[c.Rank()] = f.ReadAtAll(make([]byte, size), 0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[1], ErrTooLarge) {
+		t.Errorf("offending rank err = %v, want ErrTooLarge", errs[1])
+	}
+	if !errors.Is(errs[0], ErrRemoteRead) {
+		t.Errorf("healthy rank err = %v, want ErrRemoteRead", errs[0])
+	}
+}

@@ -31,6 +31,52 @@ const ROMIOLimit = int64(1) << 31
 // ErrTooLarge mirrors ROMIO failing reads over 2 GB in a single operation.
 var ErrTooLarge = errors.New("mpiio: request exceeds ROMIO 2 GB single-operation limit")
 
+// ErrRemoteRead is returned by coordinated reads (ReadAtSync, ReadAtAll) on
+// ranks whose own read succeeded when another rank's failed: the collective
+// agrees on failure in-band, so every rank returns an error instead of the
+// healthy ranks sailing on. The failing rank returns its concrete error.
+var ErrRemoteRead = errors.New("mpiio: read failed on another rank")
+
+// readRetries bounds how many times a read absorbing pfs.ErrTransientRead
+// faults is retried before the error is surfaced as permanent.
+const readRetries = 3
+
+// retryBackoff is the virtual-clock pause before the first retry, doubling
+// each attempt. Charged with Compute, so retried runs stay deterministic.
+const retryBackoff = 2e-3
+
+// fillAt reads len(buf) bytes at off through the data path, absorbing short
+// reads by continuing and transient faults (pfs.ErrTransientRead) with
+// bounded retry-with-backoff. Returns the bytes read; io.EOF with the
+// available prefix when the file ends inside the request.
+func (f *File) fillAt(buf []byte, off int64) (int, error) {
+	total := 0
+	retries := 0
+	backoff := retryBackoff
+	for total < len(buf) {
+		m, err := f.pf.ReadAt(buf[total:], off+int64(total))
+		total += m
+		if err == io.EOF {
+			return total, io.EOF
+		}
+		if err != nil {
+			if errors.Is(err, pfs.ErrTransientRead) && retries < readRetries {
+				retries++
+				f.comm.Compute(backoff)
+				backoff *= 2
+				continue
+			}
+			return total, fmt.Errorf("mpiio: rank %d file %q offset %d: read: %w",
+				f.comm.Rank(), f.pf.Name(), off+int64(total), err)
+		}
+		if m == 0 {
+			return total, fmt.Errorf("mpiio: rank %d file %q offset %d: read stalled",
+				f.comm.Rank(), f.pf.Name(), off+int64(total))
+		}
+	}
+	return total, nil
+}
+
 // Hints carries the MPI_Info knobs the paper tunes (§5.1.1).
 type Hints struct {
 	// CBNodes bounds the number of aggregator nodes for collective I/O
@@ -117,7 +163,7 @@ func (f *File) ReadAt(buf []byte, off int64) (int, error) {
 	if err := f.checkLimit(len(buf)); err != nil {
 		return 0, err
 	}
-	n, err := f.pf.ReadAt(buf, off)
+	n, err := f.fillAt(buf, off)
 	if err != nil && err != io.EOF {
 		return n, err
 	}
@@ -136,25 +182,53 @@ func (f *File) ReadAt(buf []byte, off int64) (int, error) {
 // must call it each iteration; inactive ranks pass an empty buf. This is
 // how the Level-0 experiments of Figures 8-9 are measured: every rank
 // spinning in the same read loop.
+// syncReq is one rank's contribution to the ReadAtSync rendezvous: its
+// timing-model request plus whether its local read failed, so failure is
+// agreed on in-band instead of one rank bailing out of the collective.
+type syncReq struct {
+	req    pfs.Request
+	failed bool
+}
+
 func (f *File) ReadAtSync(buf []byte, off int64) (int, error) {
+	// Do the local work first and carry any failure into the rendezvous —
+	// returning early here would strand the other ranks in WorldSync.
+	var n int
+	var localErr, eof error
 	if err := f.checkLimit(len(buf)); err != nil {
-		return 0, err
+		localErr = err
+	} else {
+		n, localErr = f.fillAt(buf, off)
+		if localErr == io.EOF {
+			localErr, eof = nil, io.EOF
+		}
+		if len(buf) == 0 {
+			n, eof = 0, nil
+		}
 	}
-	n, err := f.pf.ReadAt(buf, off)
-	if err != nil && err != io.EOF {
-		return n, err
+	in := syncReq{
+		req:    pfs.Request{Node: f.node(), Offset: off, Length: int64(n)},
+		failed: localErr != nil,
 	}
-	if len(buf) == 0 {
-		n, err = 0, nil
-	}
-	req := pfs.Request{Node: f.node(), Offset: off, Length: int64(n)}
-	durAny, serr := f.comm.WorldSync("mpiio.indep:"+f.pf.Name(), req, func(inputs []any) []any {
+	durAny, serr := f.comm.WorldSync("mpiio.indep:"+f.pf.Name(), in, func(inputs []any) []any {
 		reqs := make([]pfs.Request, len(inputs))
-		for i, in := range inputs {
-			reqs[i] = in.(pfs.Request)
+		failed := -1
+		for i, raw := range inputs {
+			sr := raw.(syncReq)
+			reqs[i] = sr.req
+			if sr.failed && failed < 0 {
+				failed = i
+			}
+		}
+		outs := make([]any, len(inputs))
+		if failed >= 0 {
+			err := fmt.Errorf("%w: rank %d", ErrRemoteRead, failed)
+			for i := range outs {
+				outs[i] = err
+			}
+			return outs
 		}
 		durs, derr := f.pf.BatchTime(reqs)
-		outs := make([]any, len(inputs))
 		for i := range outs {
 			if derr != nil {
 				outs[i] = derr
@@ -168,8 +242,11 @@ func (f *File) ReadAtSync(buf []byte, off int64) (int, error) {
 		return n, serr
 	}
 	if derr, ok := durAny.(error); ok {
+		if localErr != nil {
+			return n, localErr // this rank's own failure, concretely
+		}
 		return n, derr
 	}
 	f.comm.Compute(durAny.(float64))
-	return n, err
+	return n, eof
 }

@@ -24,6 +24,9 @@ type File struct {
 // Name returns the file name.
 func (f *File) Name() string { return f.name }
 
+// FS returns the filesystem holding f.
+func (f *File) FS() *FS { return f.fs }
+
 // Params returns the cost-model constants of the filesystem holding f.
 func (f *File) Params() Params { return f.fs.params }
 
@@ -95,6 +98,15 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // returned (with partial data) when the read extends past the end. This is
 // the data path only; durations come from ReadTime/BatchTime.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if hp := f.fs.readFault.Load(); hp != nil {
+		rf := (*hp)(f.name, off, len(p), f.stripeIndex(off))
+		if rf.Err != nil {
+			return 0, rf.Err
+		}
+		if rf.Short > 0 && rf.Short < len(p) {
+			p = p[:rf.Short]
+		}
+	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if off < 0 {

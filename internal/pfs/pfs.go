@@ -26,6 +26,7 @@ package pfs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind labels the filesystem flavor.
@@ -163,6 +164,9 @@ type FS struct {
 	mu    sync.Mutex
 	files map[string]*File
 	fault func(Request) error
+
+	// readFault guards the data path (File.ReadAt); see InjectReadFault.
+	readFault atomic.Pointer[ReadFaultHook]
 }
 
 // New mounts a filesystem with the given parameters.

@@ -82,6 +82,17 @@ type Config struct {
 	WindowCells int
 	Queries     []geom.Envelope
 	Ranks       int
+
+	// World tunes the MPI world a run executes under — most usefully
+	// Options.Fault (a deterministic injector, see internal/fault) and
+	// Options.Timeout (a short deadlock watchdog for chaos runs). The zero
+	// value keeps the defaults.
+	World mpi.Options
+	// SinkFault, when non-nil, is consulted before each streamed-mode sink
+	// delivery with the rank and zero-based batch index; a non-nil return
+	// fails that delivery (the pipeline's sink-error path). Materialized
+	// mode has no sink and ignores it.
+	SinkFault func(rank, batch int) error
 }
 
 // Result captures everything a pipeline mode must reproduce identically,
@@ -114,9 +125,29 @@ type Result struct {
 // Run executes the workload under one mode and collects its Result: first
 // the file-to-index pipeline, then the file-to-query pipeline (each a
 // self-contained collective pass over the file, so every mode reads the
-// file exactly twice and the final clocks are comparable).
+// file exactly twice and the final clocks are comparable). Any error fails
+// the test; chaos runs that expect errors use RunE instead.
 func Run(t *testing.T, cfg Config, mode Mode) *Result {
 	t.Helper()
+	res, errs, worldErr := RunE(cfg, mode)
+	if worldErr != nil {
+		t.Fatalf("%s pipeline: %v", mode, worldErr)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("%s pipeline: rank %d: %v", mode, r, err)
+		}
+	}
+	return res
+}
+
+// RunE executes the workload under one mode, capturing failures instead of
+// failing a test: errs holds each rank's pipeline error (a rank that
+// crashed before returning has a nil entry — its CrashError is the world
+// error), and worldErr is what mpi.RunOpt returned. On a fault-free run all
+// of them are nil and the Result is complete; after any error the Result is
+// partial and only the error observations are meaningful.
+func RunE(cfg Config, mode Mode) (*Result, []error, error) {
 	res := &Result{
 		Mode:           mode,
 		Local:          make([][]string, cfg.Ranks),
@@ -141,8 +172,18 @@ func Run(t *testing.T, cfg Config, mode Mode) *Result {
 	iopt := spatial.IndexOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env}
 	jopt := spatial.JoinOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env}
 
+	errs := make([]error, cfg.Ranks)
 	var mu sync.Mutex
-	err := mpi.Run(cluster.Local(cfg.Ranks), func(c *mpi.Comm) error {
+	worldErr := mpi.RunOpt(cluster.Local(cfg.Ranks), cfg.World, func(c *mpi.Comm) error {
+		// fail records the rank's own error before returning it, so chaos
+		// tests can assert per-rank outcomes (the returned error also aborts
+		// the world, releasing any peers blocked on this rank).
+		fail := func(err error) error {
+			mu.Lock()
+			errs[c.Rank()] = err
+			mu.Unlock()
+			return err
+		}
 		f := mpiio.Open(c, cfg.File, mpiio.Hints{})
 
 		// Pipeline 1: file -> per-cell index.
@@ -155,7 +196,7 @@ func Run(t *testing.T, cfg Config, mode Mode) *Result {
 		if mode == Materialized {
 			geoms, stats, err := core.ReadPartition(c, f, cfg.Parser(), readOpt)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			rstats = stats
 			for _, gg := range geoms {
@@ -163,18 +204,24 @@ func Run(t *testing.T, cfg Config, mode Mode) *Result {
 			}
 			trees, g, buildBD, err = spatial.BuildIndex(c, geoms, iopt)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 		} else {
 			s, err := spatial.BuildIndexStream(c, iopt)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			batches = 0
 			// The recording wrapper runs wherever the sink runs (the rank
 			// goroutine, or the SinkOverlap sink goroutine); the hand-off
 			// protocol serializes it either way.
 			rstats, err = core.ReadStream(c, f, cfg.Parser(), readOpt, func(batch []geom.Geometry) error {
+				if cfg.SinkFault != nil {
+					if ferr := cfg.SinkFault(c.Rank(), batches); ferr != nil {
+						batches++
+						return ferr
+					}
+				}
 				batches++
 				for _, gg := range batch {
 					local = append(local, wkt.Format(gg))
@@ -182,11 +229,11 @@ func Run(t *testing.T, cfg Config, mode Mode) *Result {
 				return s.Add(batch)
 			})
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			trees, buildBD, err = s.Finish()
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			g = s.Grid()
 		}
@@ -196,17 +243,17 @@ func Run(t *testing.T, cfg Config, mode Mode) *Result {
 		if mode == Materialized {
 			geoms, _, err := core.ReadPartition(c, f, cfg.Parser(), readOpt)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			queryBD, err = spatial.RangeQuery(c, geoms, cfg.Queries, jopt)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 		} else {
 			var err error
 			queryBD, err = spatial.RangeQueryFiles(c, f, cfg.Parser(), readOpt, cfg.Queries, jopt)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 		}
 		clock := c.Now()
@@ -245,10 +292,7 @@ func Run(t *testing.T, cfg Config, mode Mode) *Result {
 		mu.Unlock()
 		return nil
 	})
-	if err != nil {
-		t.Fatalf("%s pipeline: %v", mode, err)
-	}
-	return res
+	return res, errs, worldErr
 }
 
 // evalQueries re-evaluates the query batch against the finished trees with

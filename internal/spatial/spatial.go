@@ -34,8 +34,9 @@ type Breakdown struct {
 	Refine    float64 // filter queries + exact intersection tests
 	Total     float64 // elapsed virtual time (max across ranks)
 
-	Pairs   int64 // join result pairs (summed across ranks)
-	Indexed int64 // geometries inserted into cell indexes (summed)
+	Pairs       int64 // join result pairs (summed across ranks)
+	Indexed     int64 // geometries inserted into cell indexes (summed)
+	Quarantined int64 // exchange frames dropped under SkipBadFrames (summed)
 }
 
 // Aggregate reduces a per-rank breakdown to the paper's reporting
@@ -50,10 +51,11 @@ func (b Breakdown) Aggregate(c *mpi.Comm) (Breakdown, error) {
 	if err != nil {
 		return b, err
 	}
-	counts := make([]byte, 16)
+	counts := make([]byte, 24)
 	binary.LittleEndian.PutUint64(counts[0:], uint64(b.Pairs))
 	binary.LittleEndian.PutUint64(counts[8:], uint64(b.Indexed))
-	summed, err := c.Allreduce(counts, 2, mpi.Int64, mpi.OpSumInt64)
+	binary.LittleEndian.PutUint64(counts[16:], uint64(b.Quarantined))
+	summed, err := c.Allreduce(counts, 3, mpi.Int64, mpi.OpSumInt64)
 	if err != nil {
 		return b, err
 	}
@@ -63,8 +65,9 @@ func (b Breakdown) Aggregate(c *mpi.Comm) (Breakdown, error) {
 	return Breakdown{
 		Read: get(0), Partition: get(1), Comm: get(2),
 		Index: get(3), Refine: get(4), Total: get(5),
-		Pairs:   int64(binary.LittleEndian.Uint64(summed[0:])),
-		Indexed: int64(binary.LittleEndian.Uint64(summed[8:])),
+		Pairs:       int64(binary.LittleEndian.Uint64(summed[0:])),
+		Indexed:     int64(binary.LittleEndian.Uint64(summed[8:])),
+		Quarantined: int64(binary.LittleEndian.Uint64(summed[16:])),
 	}, nil
 }
 
@@ -92,6 +95,10 @@ type JoinOptions struct {
 	// cells), but a misleadingly small envelope skews the grid, so supply
 	// the real bounds or nil.
 	Envelope *geom.Envelope
+	// SkipBadFrames forwards core.Partitioner.SkipBadFrames: received
+	// exchange frames that fail to decode are quarantined and counted in
+	// Breakdown.Quarantined instead of failing the workload.
+	SkipBadFrames bool
 }
 
 func (o JoinOptions) cells() int {
@@ -146,7 +153,7 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 		return bd, fmt.Errorf("spatial: grid: %w", err)
 	}
 
-	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
+	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	cellsR, statsR, err := pt.Exchange(c, localR)
 	if err != nil {
 		return bd, fmt.Errorf("spatial: exchange R: %w", err)
@@ -157,6 +164,7 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 	}
 	bd.Partition = statsR.ProjectTime + statsS.ProjectTime
 	bd.Comm = statsR.CommTime + statsS.CommTime
+	bd.Quarantined = int64(statsR.FramesQuarantined + statsS.FramesQuarantined)
 
 	joinCells(c, g, cellsR, cellsS, opt, &bd)
 	bd.Total = c.Now() - start
@@ -327,7 +335,7 @@ func joinFilesStreamed(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, read
 	if err != nil {
 		return bd, fmt.Errorf("spatial: grid: %w", err)
 	}
-	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
+	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	cellsR, rstatsR, estatsR, err := core.ReadExchange(c, fR, parser, readOpt, pt)
 	if err != nil {
 		return bd, fmt.Errorf("spatial: stream R: %w", err)
@@ -340,6 +348,7 @@ func joinFilesStreamed(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, read
 		rstatsS.IOTime + rstatsS.CommTime + rstatsS.ParseTime
 	bd.Partition = estatsR.ProjectTime + estatsS.ProjectTime
 	bd.Comm = estatsR.CommTime + estatsS.CommTime
+	bd.Quarantined = int64(estatsR.FramesQuarantined + estatsS.FramesQuarantined)
 
 	joinCells(c, g, cellsR, cellsS, opt, &bd)
 	bd.Total = c.Now() - start
@@ -360,6 +369,10 @@ type IndexOptions struct {
 	// clamp to the border cells — but a misleadingly small envelope skews
 	// the grid, so supply the real bounds or nil.
 	Envelope *geom.Envelope
+	// SkipBadFrames forwards core.Partitioner.SkipBadFrames: received
+	// exchange frames that fail to decode are quarantined and counted in
+	// Breakdown.Quarantined instead of failing the workload.
+	SkipBadFrames bool
 }
 
 func (o IndexOptions) cells() int {
@@ -407,7 +420,7 @@ func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*
 	if err != nil {
 		return nil, nil, bd, fmt.Errorf("spatial: grid: %w", err)
 	}
-	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
+	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	ci := newCellIndexer(c, c.Config().Scale())
 	stats, err := pt.ExchangeStream(c, local, ci.phase)
 	if err != nil {
@@ -417,6 +430,7 @@ func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*
 	bd.Comm = stats.CommTime
 	bd.Index = ci.time
 	bd.Indexed = ci.indexed
+	bd.Quarantined = int64(stats.FramesQuarantined)
 	bd.Total = c.Now() - start
 	return ci.trees, g, bd, nil
 }
@@ -469,7 +483,7 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 	if err != nil {
 		return bd, fmt.Errorf("spatial: grid: %w", err)
 	}
-	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells}
+	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	ci := newCellIndexer(c, c.Config().Scale())
 	stats, err := pt.ExchangeStream(c, localData, ci.phase)
 	if err != nil {
@@ -479,6 +493,7 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 	bd.Comm = stats.CommTime
 	bd.Index = ci.time
 	bd.Indexed = ci.indexed
+	bd.Quarantined = int64(stats.FramesQuarantined)
 
 	queryCells(c, g, ci.trees, queries, opt, &bd)
 	bd.Total = c.Now() - start

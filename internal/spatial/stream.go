@@ -47,14 +47,14 @@ func BuildIndexStream(c *mpi.Comm, opt IndexOptions) (*IndexStream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spatial: grid: %w", err)
 	}
-	return newIndexStream(c, g, opt.WindowCells)
+	return newIndexStream(c, g, opt.WindowCells, opt.SkipBadFrames)
 }
 
 // newIndexStream opens the streaming exchange over an already-built grid —
 // the shared core of BuildIndexStream and the one-pass RangeQueryFiles
 // (whose grid granularity comes from JoinOptions instead).
-func newIndexStream(c *mpi.Comm, g *grid.Grid, window int) (*IndexStream, error) {
-	pt := &core.Partitioner{Grid: g, WindowCells: window}
+func newIndexStream(c *mpi.Comm, g *grid.Grid, window int, skipBad bool) (*IndexStream, error) {
+	pt := &core.Partitioner{Grid: g, WindowCells: window, SkipBadFrames: skipBad}
 	ex, err := pt.Stream(c)
 	if err != nil {
 		return nil, err
@@ -88,6 +88,7 @@ func (s *IndexStream) Finish() (map[int]*rtree.Tree[geom.Geometry], Breakdown, e
 	bd.Comm = stats.CommTime
 	bd.Index = s.ci.time
 	bd.Indexed = s.ci.indexed
+	bd.Quarantined = int64(stats.FramesQuarantined)
 	bd.Total = s.c.Now() - s.start
 	if err != nil {
 		return nil, bd, fmt.Errorf("spatial: streamed index: %w", err)
@@ -178,7 +179,7 @@ func RangeQueryFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt cor
 	if err != nil {
 		return Breakdown{}, fmt.Errorf("spatial: grid: %w", err)
 	}
-	s, err := newIndexStream(c, g, opt.WindowCells)
+	s, err := newIndexStream(c, g, opt.WindowCells, opt.SkipBadFrames)
 	if err != nil {
 		return Breakdown{}, err
 	}

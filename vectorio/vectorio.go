@@ -203,6 +203,62 @@
 // touches the Comm (IndexStream.Add and Exchanger.Add qualify). See
 // examples/streamquery for the complete file-to-query program.
 //
+// # Failure semantics and fault injection
+//
+// Every collective entry point above settles failure collectively: when
+// any rank errors, all ranks return an error, no rank hangs, and no
+// goroutine outlives the run. The mechanics differ by failure point, but
+// the contract is uniform:
+//
+//   - A rank returning an error from the Run callback aborts the world;
+//     peers blocked in sends, receives, or collectives come back with
+//     ErrAborted (MPI_ERRORS_ARE_FATAL semantics).
+//   - A lost or never-sent message trips the per-operation deadlock
+//     watchdog (RunOptions.Timeout, default 60s of real time). The blocked
+//     rank gets a DeadlockError — the diagnostic form of ErrDeadlock,
+//     carrying its own operation plus a per-rank dump of what every other
+//     rank was blocked on (operation kind, peer, tag, virtual time), the
+//     view an MPI debugger would give — and the abort releases everyone
+//     else.
+//   - A rank that dies mid-run (a panic, or an injected crash) tears the
+//     world down with a CrashError wrapping ErrAborted, again with the
+//     per-rank blocked-operation dump.
+//   - Transient filesystem read errors (ErrTransientRead) are absorbed
+//     inside the MPI-IO layer by a bounded retry whose backoff is charged
+//     to the virtual clock, so an absorbed fault still replays
+//     deterministically. Permanent read errors settle collectively: the
+//     failing rank reports the concrete error, every other rank
+//     ErrRemoteRead.
+//   - Parse and sink errors settle the same way through the read's
+//     error-agreement round: ErrRemoteParse / ErrRemoteSink on healthy
+//     ranks, the concrete error on the failing one.
+//   - Corrupted exchange frames fail the receiving rank by default; with
+//     Partitioner.SkipBadFrames (forwarded by JoinOptions.SkipBadFrames
+//     and IndexOptions.SkipBadFrames) they are quarantined instead —
+//     skipped and counted in ExchangeStats.FramesQuarantined /
+//     BytesQuarantined and the aggregated Breakdown.Quarantined — and the
+//     pipeline completes.
+//
+// All of it is testable deterministically. RunOpt takes RunOptions whose
+// Fault field installs a FaultInjector consulted at every communicator
+// operation (nil — the default — costs one nil check). FaultPlan builds
+// seeded, replayable injectors from declarative rules: drop, corrupt, or
+// delay a message by (rank, op-index, tag); crash a rank at its Nth
+// operation; fail filesystem reads at stripe granularity (transient,
+// permanent, or short); error a streaming sink; corrupt a received
+// exchange frame. The same plan replays bit-identically, and a clean rerun
+// after any failed attempt reproduces the no-fault run exactly — the
+// chaos matrix in internal/pipelinetest pins both properties across every
+// pipeline mode, framing, and strategy:
+//
+//	plan := vectorio.FaultPlan{Seed: 7, Rules: []vectorio.FaultRule{
+//		vectorio.CrashAt(1, 10), // rank 1 dies at its 10th operation
+//	}}
+//	err := vectorio.RunOpt(cfg, vectorio.RunOptions{Fault: plan.New()},
+//		func(c *vectorio.Comm) error { ... })
+//	var crash *vectorio.CrashError
+//	if errors.As(err, &crash) { ... } // rank, op index, blocked-op dump
+//
 // See the examples/ directory for complete programs: quickstart (parallel
 // read), wkbingest (the binary fast path vs text), streamingest (the
 // one-pass streaming pipeline), streamquery (file → index → range query,
@@ -215,6 +271,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/mpi"
@@ -245,6 +302,82 @@ type (
 // Run launches fn on every rank of the configured cluster and waits for all
 // of them, aborting the world on the first error (MPI_ERRORS_ARE_FATAL).
 func Run(cfg *ClusterConfig, fn func(c *Comm) error) error { return mpi.Run(cfg, fn) }
+
+// RunOpt is Run with explicit options: the deadlock-watchdog timeout, the
+// reduction cost model, and the fault injector (see "Failure semantics and
+// fault injection" in the package documentation).
+func RunOpt(cfg *ClusterConfig, opt RunOptions, fn func(c *Comm) error) error {
+	return mpi.RunOpt(cfg, opt, fn)
+}
+
+// Failure semantics and deterministic fault injection (see the package
+// documentation section of the same name).
+type (
+	// RunOptions tunes a world launched with RunOpt; the zero value gives
+	// the Run defaults.
+	RunOptions = mpi.Options
+	// FaultInjector decides the fate of communicator operations
+	// (RunOptions.Fault). FaultPlan.New builds the deterministic one.
+	FaultInjector = mpi.FaultInjector
+	// FaultPlan is a seeded, declarative fault plan; New instantiates a
+	// fresh replayable injector.
+	FaultPlan = fault.Plan
+	// FaultRule is one declarative fault in a plan — build them with
+	// DropAt, DropTag, CorruptTag, DelayTag, CrashAt, TransientRead,
+	// PermanentRead, ShortReadAt, SinkErrAt, and FrameCorrupt.
+	FaultRule = fault.Rule
+	// BlockedOp is one rank's blocked operation in a deadlock or crash
+	// diagnostic (operation kind, peer, tag, virtual time).
+	BlockedOp = mpi.BlockedOp
+	// DeadlockError is the diagnostic form of ErrDeadlock: the timed-out
+	// operation plus the per-rank blocked-operation dump.
+	DeadlockError = mpi.DeadlockError
+	// CrashError reports a rank that died mid-run; it wraps ErrAborted and
+	// carries the same per-rank blocked-operation dump.
+	CrashError = mpi.CrashError
+)
+
+// Failure sentinels, usable with errors.Is across the whole pipeline.
+var (
+	// ErrDeadlock marks a blocking operation that outlived the watchdog.
+	ErrDeadlock = mpi.ErrDeadlock
+	// ErrAborted is what blocked peers see when the world tears down.
+	ErrAborted = mpi.ErrAborted
+	// ErrInjected wraps every error a FaultPlan injects.
+	ErrInjected = fault.ErrInjected
+	// ErrTransientRead marks a retryable filesystem read failure.
+	ErrTransientRead = pfs.ErrTransientRead
+	// ErrRemoteRead reports a coordinated read that failed on another rank.
+	ErrRemoteRead = mpiio.ErrRemoteRead
+	// ErrRemoteParse reports a parse failure on another rank.
+	ErrRemoteParse = core.ErrRemoteParse
+	// ErrRemoteSink reports a streaming-sink failure on another rank.
+	ErrRemoteSink = core.ErrRemoteSink
+)
+
+// Fault-rule constructors (wildcards: rank/stripe/op-index -1, file "").
+var (
+	// DropAt drops rank's op-index'th operation if it is a send.
+	DropAt = fault.DropAt
+	// DropTag drops rank's first send with the given tag.
+	DropTag = fault.DropTag
+	// CorruptTag flips one seeded bit in rank's first send with the tag.
+	CorruptTag = fault.CorruptTag
+	// DelayTag delivers rank's first send with the tag late.
+	DelayTag = fault.DelayTag
+	// CrashAt kills rank at its op-index'th communicator operation.
+	CrashAt = fault.CrashAt
+	// TransientRead fails reads of a file stripe retryably, times times.
+	TransientRead = fault.TransientRead
+	// PermanentRead fails reads of a file stripe outright.
+	PermanentRead = fault.PermanentRead
+	// ShortReadAt truncates one read of a file stripe.
+	ShortReadAt = fault.ShortReadAt
+	// SinkErrAt fails rank's batch'th streaming-sink delivery.
+	SinkErrAt = fault.SinkErrAt
+	// FrameCorrupt corrupts an exchange frame rank receives.
+	FrameCorrupt = fault.FrameCorrupt
+)
 
 // Cluster presets.
 var (

@@ -1,11 +1,13 @@
 package vectorio_test
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/vectorio"
 )
@@ -401,5 +403,87 @@ func TestStreamedIndexFacade(t *testing.T) {
 	}
 	if streamedPairs != materializedPairs {
 		t.Errorf("RangeQueryFiles pairs %d, RangeQuery %d", streamedPairs, materializedPairs)
+	}
+}
+
+// TestFaultFacade drives the failure surface the way a downstream chaos
+// test would: a seeded FaultPlan through RunOpt, the DeadlockError dump on
+// a dropped message, the CrashError teardown, and a transient read fault
+// absorbed with no effect on the data — all through the facade.
+func TestFaultFacade(t *testing.T) {
+	fs, err := vectorio.NewFS(vectorio.RogerGPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := fs.Create("chaos.wkt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		layer.Append([]byte(fmt.Sprintf("POINT (%d.5 %d.5)\n", i%10, (i/10)%10)))
+	}
+	read := func(opt vectorio.RunOptions) ([]int, error) {
+		counts := make([]int, 3)
+		var mu sync.Mutex
+		err := vectorio.RunOpt(vectorio.Local(3), opt, func(c *vectorio.Comm) error {
+			f := vectorio.Open(c, layer, vectorio.Hints{})
+			local, _, err := vectorio.ReadPartition(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{BlockSize: 128})
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			counts[c.Rank()] = len(local)
+			mu.Unlock()
+			return nil
+		})
+		return counts, err
+	}
+
+	clean, err := read(vectorio.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A dropped boundary message deadlocks its receiver; the watchdog must
+	// surface the diagnostic dump, not a bare timeout.
+	plan := vectorio.FaultPlan{Seed: 3, Rules: []vectorio.FaultRule{vectorio.DropTag(1, 77)}}
+	_, err = read(vectorio.RunOptions{Fault: plan.New(), Timeout: 500 * time.Millisecond})
+	var dl *vectorio.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("dropped message returned %v, want a DeadlockError", err)
+	}
+	if !errors.Is(err, vectorio.ErrDeadlock) || len(dl.Blocked) == 0 {
+		t.Fatalf("DeadlockError %v lacks the blocked-op dump", dl)
+	}
+
+	// An injected crash tears the world down as ErrAborted with the crash
+	// site attached.
+	plan = vectorio.FaultPlan{Seed: 4, Rules: []vectorio.FaultRule{vectorio.CrashAt(2, 5)}}
+	_, err = read(vectorio.RunOptions{Fault: plan.New()})
+	var crash *vectorio.CrashError
+	if !errors.As(err, &crash) || !errors.Is(err, vectorio.ErrAborted) {
+		t.Fatalf("injected crash returned %v, want a CrashError wrapping ErrAborted", err)
+	}
+	if crash.Rank != 2 || crash.OpIndex != 5 {
+		t.Errorf("crash reported at rank %d op %d, want rank 2 op 5", crash.Rank, crash.OpIndex)
+	}
+
+	// Transient read faults are absorbed by the bounded retry: same data,
+	// and a clean retry afterwards still matches.
+	plan = vectorio.FaultPlan{Seed: 5, Rules: []vectorio.FaultRule{vectorio.TransientRead("chaos.wkt", -1, 2)}}
+	fs.InjectReadFault(plan.New().ReadFault)
+	absorbed, err := read(vectorio.RunOptions{})
+	fs.InjectReadFault(nil)
+	if err != nil {
+		t.Fatalf("transient faults were not absorbed: %v", err)
+	}
+	retry, err := read(vectorio.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range clean {
+		if absorbed[r] != clean[r] || retry[r] != clean[r] {
+			t.Fatalf("rank %d counts: clean %d absorbed %d retry %d", r, clean[r], absorbed[r], retry[r])
+		}
 	}
 }
