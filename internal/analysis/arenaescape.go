@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ArenaEscape reports pooled arena memory escaping its lifetime. The
+// ingest hot path recycles every buffer (PR 1's read arena, PR 4's batch
+// and frame slabs): a slice carved from one is valid only until the
+// arena's next reuse — typically the end of the sink callback or the
+// owning Release. Storing such a slice in a long-lived struct, a package
+// variable, or a channel, or returning it from an exported function
+// (handing recycled memory to callers outside the package's discipline)
+// is the aliasing bug class PR 1's arena-aliasing regression tests catch
+// dynamically, one concrete lifetime at a time; this checks every use
+// site statically.
+//
+// Pooled sources are (a) arena.GrowBuf results and (b) slice-typed
+// fields and method results of types marked with a //vet:pooled doc
+// comment. Unexported functions may return pooled slices — that is the
+// package-internal hand-off idiom (readBlock) whose contract the caller
+// sees — and assignments into fields of pooled types are the recycle
+// idiom itself.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc: "flag pooled read-arena/batch/frame slices stored beyond their lifetime: a recycled " +
+		"buffer is only valid until the sink callback returns or the arena is reused",
+	Scope: func(relDir string) bool {
+		return relDir == "internal" || strings.HasPrefix(relDir, "internal/")
+	},
+	Run: runArenaEscape,
+}
+
+func runArenaEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkArenaFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkArenaFunc(pass *Pass, fd *ast.FuncDecl) {
+	exported := fd.Name.IsExported()
+	// tainted tracks local variables holding pooled memory. The body is
+	// walked in source order, so a taint is visible to every later use
+	// in the common straight-line case.
+	tainted := make(map[types.Object]bool)
+
+	pooled := func(e ast.Expr) bool { return isPooledExpr(pass, e, tainted) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if !pooled(rhs) {
+					continue
+				}
+				switch lv := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.Defs[lv]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[lv]
+					}
+					if obj == nil {
+						continue
+					}
+					if obj.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(n.Pos(), "pooled arena slice stored in package variable %s outlives the arena's next reuse", lv.Name)
+						continue
+					}
+					tainted[obj] = true
+				case *ast.SelectorExpr:
+					// Recycling back into an arena's own field is the
+					// idiom; parking pooled memory in any other struct
+					// is an escape.
+					if base, ok := pass.TypesInfo.Types[lv.X]; ok && pass.Facts.PooledNamed(base.Type) {
+						continue
+					}
+					pass.Reportf(n.Pos(), "pooled arena slice stored in %s escapes the arena lifetime: copy it (or mark the owning type //vet:pooled)", exprString(lv))
+				case *ast.IndexExpr:
+					if obj, _ := rootObject(pass.TypesInfo, lv.X); obj != nil && tainted[obj] {
+						continue // writing into pooled storage, not storing it
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if pooled(n.Value) {
+				pass.Reportf(n.Pos(), "pooled arena slice sent on a channel escapes the arena lifetime: the receiver races the arena's reuse")
+			}
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, res := range n.Results {
+				if pooled(res) {
+					pass.Reportf(n.Pos(), "exported %s returns pooled arena memory: callers outside the package cannot see the recycling contract; return a copy", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPooledExpr reports whether e denotes pooled arena memory: a GrowBuf
+// call, a slice-typed selector on a //vet:pooled type, a method call on
+// a pooled type returning a slice, a tainted local, or a slice/append
+// derived from any of those.
+func isPooledExpr(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		if isBuiltin(pass, e.Fun, "append") && len(e.Args) > 0 {
+			// Appending ONTO a pooled buffer aliases it (until a grow
+			// reallocates, which the caller cannot count on).
+			return isPooledExpr(pass, e.Args[0], tainted)
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				p := fn.Pkg().Path()
+				if fn.Name() == "GrowBuf" && (p == "arena" || strings.HasSuffix(p, "/arena")) {
+					return true
+				}
+			}
+			if selection, ok := pass.TypesInfo.Selections[sel]; ok &&
+				selection.Kind() == types.MethodVal && pass.Facts.PooledNamed(selection.Recv()) {
+				return isSliceType(pass, e)
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		if selection, ok := pass.TypesInfo.Selections[e]; ok && selection.Kind() == types.FieldVal &&
+			pass.Facts.PooledNamed(selection.Recv()) && isSliceType(pass, e) {
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		return isPooledExpr(pass, e.X, tainted)
+	case *ast.IndexExpr:
+		return isPooledExpr(pass, e.X, tainted)
+	}
+	return false
+}
+
+func isSliceType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Slice)
+	return ok
+}

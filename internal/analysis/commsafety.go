@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommSafety reports mpi.Comm method calls reachable from a goroutine
+// spawned in internal/core. The simulated communicator is the rank's
+// program counter: every send, receive, and Compute charge advances the
+// rank's virtual clock in program order. A worker goroutine (the PR 3
+// parse pool, the PR 5 SinkOverlap sink goroutine) touching the
+// communicator races the rank's own trajectory — the virtual clock stops
+// being a deterministic function of the input and the -race chaos jobs
+// only catch it when the schedule cooperates. Off-goroutine work must
+// accumulate cost locally and charge it at a fixed program point on the
+// rank goroutine (parsepool's Compute-at-join discipline).
+//
+// The walk is static and intra-package: the body of every function the
+// goroutine can reach through direct same-package calls is scanned.
+// Calls through interfaces or function values are not chased — sinks and
+// Parser implementations are the escape points, and their contracts
+// ("must not touch the communicator") are documented at the interface.
+var CommSafety = &Analyzer{
+	Name: "commsafety",
+	Doc: "flag mpi.Comm method calls reachable from goroutines spawned in internal/core: only the " +
+		"rank goroutine may advance the virtual clock or communicate",
+	Scope: func(relDir string) bool { return relDir == "internal/core" },
+	Run:   runCommSafety,
+}
+
+func runCommSafety(pass *Pass) error {
+	// Map every package-level function and method to its declaration so
+	// the reachability walk can hop static same-package calls.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	visited := make(map[types.Object]bool)
+	var scan func(body ast.Node, spawn ast.Node)
+	scan = func(body ast.Node, spawn ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if selection, ok := pass.TypesInfo.Selections[sel]; ok &&
+					selection.Kind() == types.MethodVal && isCommType(selection.Recv()) {
+					pass.Reportf(call.Pos(), "mpi.Comm.%s reachable from the goroutine spawned at %s: only the rank goroutine may touch the communicator; accumulate cost and charge it at a fixed program point instead",
+						sel.Sel.Name, pass.Fset.Position(spawn.Pos()))
+					return true
+				}
+			}
+			if callee := staticCallee(pass, call); callee != nil {
+				if fd, ok := decls[callee]; ok && !visited[callee] {
+					visited[callee] = true
+					scan(fd.Body, spawn)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// Only the callee's body runs on the new goroutine — the
+			// arguments are evaluated synchronously by the spawner.
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				scan(fun.Body, gs)
+			default:
+				if callee := staticCallee(pass, gs.Call); callee != nil {
+					if fd, ok := decls[callee]; ok && !visited[callee] {
+						visited[callee] = true
+						scan(fd.Body, gs)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// staticCallee resolves a call to a statically known same-package
+// function or method object, or nil.
+func staticCallee(pass *Pass, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,11 @@
+// Package clock is a deliberately broken fixture module: vectorio-vet
+// must exit non-zero on it (driver regression test).
+package clock
+
+import "time"
+
+// Stamp reads the wall clock in an internal package — the wallclock
+// invariant violation the driver must catch.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,70 @@
+// Package arenaescape is the analysistest fixture for the arenaescape
+// analyzer: slices derived from pooled arena buffers must not outlive
+// the arena's next reuse. The fixture imports the real arena package so
+// GrowBuf detection is exercised against the true source.
+package arenaescape
+
+import "repro/internal/arena"
+
+// readPool mirrors core's readArena: a marked pooled type whose fields
+// are recycled buffers.
+//
+//vet:pooled
+type readPool struct {
+	block []byte
+	frame []byte
+}
+
+// batch is an ordinary long-lived struct — parking pooled memory in it
+// escapes the arena lifetime.
+type batch struct {
+	data []byte
+}
+
+var scratch []byte
+
+// The recycle idiom: growing an arena field back into itself is the
+// whole point and is never flagged.
+func (p *readPool) refill(n int) {
+	p.block = arena.GrowBuf(p.block, n)
+}
+
+// Package-internal hand-off: an unexported function may return a pooled
+// slice; its callers are inside the package and see the contract.
+func (p *readPool) view(n int) []byte {
+	return p.block[:n]
+}
+
+// Exported returns hand recycled memory to callers who cannot see the
+// recycling discipline.
+func Carve(p *readPool, n int) []byte {
+	buf := p.block[:n]
+	return buf // want `returns pooled arena memory`
+}
+
+// Storing a pooled slice in a non-pooled struct outlives the arena.
+func badStore(p *readPool, b *batch, n int) {
+	b.data = p.block[:n] // want `escapes the arena lifetime`
+}
+
+// A GrowBuf result is pooled wherever it lands; a package variable
+// outlives every arena.
+func badGlobal(n int) {
+	scratch = arena.GrowBuf(scratch, n) // want `stored in package variable`
+}
+
+// A channel send hands the buffer to a goroutine that races the reuse.
+func badSend(p *readPool, ch chan []byte, n int) {
+	ch <- p.frame[:n] // want `sent on a channel`
+}
+
+// Copying is the sanctioned way out of the arena.
+func goodCopy(p *readPool, b *batch, n int) {
+	b.data = append([]byte(nil), p.block[:n]...)
+}
+
+// The escape hatch, for sites whose lifetime is provably bounded by a
+// protocol the analyzer cannot see.
+func allowedStore(p *readPool, b *batch, n int) {
+	b.data = p.block[:n] //vet:allow arenaescape — fixture: consumed before the next refill by construction
+}

@@ -25,7 +25,7 @@ func FuzzDecodeExchangeFrame(f *testing.F) {
 	f.Add([]byte{1, 2, 3})
 	f.Add(append([]byte{}, valid...))
 	f.Add(append([]byte{}, two...))
-	f.Add(append([]byte{}, valid[:len(valid)-2]...)) // truncated payload
+	f.Add(append([]byte{}, valid[:len(valid)-2]...))   // truncated payload
 	for _, bit := range []int{0, 33, 47, 63, 64, 71} { // header + payload flips
 		flipped := append([]byte{}, valid...)
 		flipped[bit/8] ^= 1 << (bit % 8)

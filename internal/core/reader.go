@@ -221,6 +221,8 @@ func readCore(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, sink func([
 // recycled buffer, ring fragments are framed and received in scratch
 // space, and record assembly and the rank-0 carry reuse grown-once
 // buffers. An arena belongs to a single rank (goroutine).
+//
+//vet:pooled
 type readArena struct {
 	block []byte // readBlock destination
 	frame []byte // outbound fragment framing (flag byte + payload)
@@ -255,7 +257,7 @@ func (ar *readArena) readBlock(c *mpi.Comm, f *mpiio.File, level AccessLevel, of
 	} else {
 		n, err = f.ReadAtSync(ar.block, off)
 	}
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return ar.block[:n], nil

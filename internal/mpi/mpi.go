@@ -125,6 +125,7 @@ func RunOpt(cfg *cluster.Config, opt Options, fn func(c *Comm) error) error {
 	tickWG.Add(1)
 	go func() {
 		defer tickWG.Done()
+		//vet:allow wallclock — deadlock-watchdog waker: polls real time so blocked ranks observe deadlines/aborts; charges no virtual time
 		t := time.NewTicker(50 * time.Millisecond)
 		defer t.Stop()
 		for {

@@ -76,7 +76,7 @@ func (c *Comm) Send(buf []byte, dst, tag int) error {
 	box.enqueue(m)
 	bop := c.setBlocked(OpSend, dst, tag, "")
 	defer c.clearBlocked()
-	timer := time.NewTimer(c.world.timeout)
+	timer := time.NewTimer(c.world.timeout) //vet:allow wallclock — rendezvous watchdog timeout: detects real-time hangs, never feeds the virtual clock
 	defer timer.Stop()
 	select {
 	case end := <-done:
@@ -255,7 +255,7 @@ func (c *Comm) SendRecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, r
 	// Harvest the posted send.
 	bop := c.setBlocked(OpSendRecv, dst, sendTag, "")
 	defer c.clearBlocked()
-	timer := time.NewTimer(c.world.timeout)
+	timer := time.NewTimer(c.world.timeout) //vet:allow wallclock — rendezvous watchdog timeout: detects real-time hangs, never feeds the virtual clock
 	defer timer.Stop()
 	select {
 	case end := <-done:

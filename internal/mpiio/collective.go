@@ -1,6 +1,7 @@
 package mpiio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -275,7 +276,7 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 				// releases the peers from the exchange with ErrAborted —
 				// best-effort teardown rather than in-band agreement, but
 				// still: every rank errors, nobody hangs.
-				if _, rerr := f.fillAt(data, slice.off); rerr != nil && rerr != io.EOF {
+				if _, rerr := f.fillAt(data, slice.off); rerr != nil && !errors.Is(rerr, io.EOF) {
 					return 0, rerr
 				}
 				f.comm.Compute(plan.aggTime[c][myAgg])

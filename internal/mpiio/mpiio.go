@@ -56,7 +56,7 @@ func (f *File) fillAt(buf []byte, off int64) (int, error) {
 	for total < len(buf) {
 		m, err := f.pf.ReadAt(buf[total:], off+int64(total))
 		total += m
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return total, io.EOF
 		}
 		if err != nil {
@@ -96,7 +96,11 @@ func (h Hints) bufferSize() int64 {
 }
 
 // File is an MPI file handle: a striped pfs file opened across a
-// communicator.
+// communicator. It owns recycled collective-read scratch (aggBuf), so it
+// is a pooled type under the arenaescape invariant: slices carved from
+// its buffers must not outlive the next collective call.
+//
+//vet:pooled
 type File struct {
 	comm *mpi.Comm
 	pf   *pfs.File
@@ -164,7 +168,7 @@ func (f *File) ReadAt(buf []byte, off int64) (int, error) {
 		return 0, err
 	}
 	n, err := f.fillAt(buf, off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return n, err
 	}
 	dur, merr := f.pf.ReadTime(pfs.Request{Node: f.node(), Offset: off, Length: int64(n)})
@@ -199,7 +203,7 @@ func (f *File) ReadAtSync(buf []byte, off int64) (int, error) {
 		localErr = err
 	} else {
 		n, localErr = f.fillAt(buf, off)
-		if localErr == io.EOF {
+		if errors.Is(localErr, io.EOF) {
 			localErr, eof = nil, io.EOF
 		}
 		if len(buf) == 0 {

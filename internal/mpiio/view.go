@@ -1,6 +1,7 @@
 package mpiio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -171,7 +172,7 @@ func (f *File) ReadViewAll(buf []byte, viewOff int64) (int, error) {
 			slice = plan.cycleSlice(myAgg, c)
 			if slice.length > 0 {
 				data = make([]byte, slice.length)
-				if _, rerr := f.fillAt(data, slice.off); rerr != nil && rerr != io.EOF {
+				if _, rerr := f.fillAt(data, slice.off); rerr != nil && !errors.Is(rerr, io.EOF) {
 					return 0, rerr
 				}
 				f.comm.Compute(plan.aggTime[c][myAgg])

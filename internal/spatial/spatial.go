@@ -191,7 +191,17 @@ func joinCells(c *mpi.Comm, g *grid.Grid, cellsR, cellsS map[int][]geom.Geometry
 	// real candidate pair stands for scale^2 full-size pairs — the filter's
 	// per-candidate term and the refinement tests are charged accordingly.
 	t1 := c.Now()
-	for cell, ss := range cellsS {
+	// Query cells in ascending id order: iterating the map directly would
+	// charge the per-query Compute costs in random order, and float
+	// accumulation order leaks into the virtual clock bit-for-bit (the
+	// maporder invariant; vectorio-vet flags the direct loop).
+	sCells := make([]int, 0, len(cellsS))
+	for cell := range cellsS {
+		sCells = append(sCells, cell)
+	}
+	sort.Ints(sCells)
+	for _, cell := range sCells {
+		ss := cellsS[cell]
 		tr := trees[cell]
 		if tr == nil {
 			continue

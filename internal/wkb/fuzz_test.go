@@ -44,8 +44,8 @@ func FuzzDecode(f *testing.F) {
 		almostWrap = binary.LittleEndian.AppendUint32(almostWrap, 0x10000001)
 		f.Add(almostWrap)
 	}
-	f.Add([]byte{0, 1, 0, 0, 0})          // big-endian marker
-	f.Add([]byte{1, 99, 0, 0, 0})         // unknown code
+	f.Add([]byte{0, 1, 0, 0, 0})             // big-endian marker
+	f.Add([]byte{1, 99, 0, 0, 0})            // unknown code
 	f.Add([]byte{1, 3, 0, 0, 0, 0, 0, 0, 0}) // polygon with zero rings
 
 	f.Fuzz(func(t *testing.T, data []byte) {
