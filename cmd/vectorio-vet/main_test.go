@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,10 +56,44 @@ func TestListMode(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list: exit %d (%s)", code, errOut.String())
 	}
-	for _, name := range []string{"wallclock", "commsafety", "maporder", "arenaescape", "errwrap"} {
+	for _, name := range []string{"wallclock", "commsafety", "maporder", "arenaescape", "errwrap", "collective", "clockcharge"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestJSONMode pins the -json wire form: exit 1 on badmod, every stdout
+// line a self-contained finding object with populated fields, in the
+// same deterministic order as the plain output.
+func TestJSONMode(t *testing.T) {
+	var out, errOut strings.Builder
+
+	badmod, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, badmod)
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("-json on badmod: exit %d, want 1 (stderr=%q)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("-json produced no findings on badmod")
+	}
+	var prev finding
+	for i, line := range lines {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d is not a JSON finding: %v\n%s", i+1, err, line)
+		}
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("line %d has empty fields: %+v", i+1, f)
+		}
+		if i > 0 && (f.File < prev.File || (f.File == prev.File && f.Line < prev.Line)) {
+			t.Errorf("findings out of (file, line) order at line %d: %+v after %+v", i+1, f, prev)
+		}
+		prev = f
 	}
 }
 

@@ -114,6 +114,19 @@ type Facts struct {
 	// Pooled is the set of //vet:pooled-marked types, keyed
 	// "pkgpath.TypeName".
 	Pooled map[string]bool
+	// Uniform is the set of //vet:uniform-marked functions: their errors
+	// are deterministic functions of their arguments, so rank-uniform
+	// inputs fail every rank identically and an early return guarded by
+	// such an error cannot strand a subset of ranks. Keyed by declared
+	// function; the mark carries a mandatory reason, like //vet:allow.
+	Uniform map[*types.Func]bool
+	// MalformedUniform are //vet:uniform marks missing their reason; the
+	// driver reports them instead of honoring them.
+	MalformedUniform []token.Position
+	// Graph is the whole-program call graph over every loaded package,
+	// with its per-function summaries (see callgraph.go). Interprocedural
+	// analyzers reach helper chains and sibling packages through it.
+	Graph *CallGraph
 }
 
 // allowRe matches the body of a //vet:allow comment: the analyzer name,
@@ -186,6 +199,25 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, opt RunOptions) ([]Dia
 
 func runWithFacts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions, facts *Facts) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	// A //vet:uniform mark without a reason is reported, not honored —
+	// but only when its file is in the analyzed set, so a fixture run
+	// over a narrow package list does not re-report dependency marks.
+	analyzedFile := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			analyzedFile[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	for _, pos := range facts.MalformedUniform {
+		if !analyzedFile[pos.Filename] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "vetuniform",
+			Pos:      pos,
+			Message:  "//vet:uniform is missing its reason (want `//vet:uniform — <reason>`)",
+		})
+	}
 	for _, pkg := range pkgs {
 		// Allow marks and their validity are per-file, independent of
 		// which analyzers run on the package.
@@ -235,46 +267,100 @@ func runWithFacts(pkgs []*Package, analyzers []*Analyzer, opt RunOptions, facts 
 			}
 		}
 	}
+	// Deterministic machine-readable order: byte offset within the file
+	// is the position (line/column follow from it), then analyzer, then
+	// message, and exact duplicates — the same analyzer reaching the same
+	// site along two call paths — collapse to one finding.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
 		}
-		return a.Analyzer < b.Analyzer
+		return a.Message < b.Message
 	})
-	return diags, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // gatherFacts walks every loaded package's syntax for cross-package
-// markers before any analyzer runs.
+// markers before any analyzer runs, then builds the call graph and its
+// summaries over the same package set (the graph's pooled summaries
+// consume the marker set, so the markers are collected first).
 func gatherFacts(pkgs []*Package) *Facts {
-	facts := &Facts{Pooled: make(map[string]bool)}
+	facts := &Facts{Pooled: make(map[string]bool), Uniform: make(map[*types.Func]bool)}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
-				gd, ok := decl.(*ast.GenDecl)
-				if !ok || gd.Tok != token.TYPE {
-					continue
-				}
-				for _, spec := range gd.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
 						continue
 					}
-					if hasPooledMark(gd.Doc) || hasPooledMark(ts.Doc) || hasPooledMark(ts.Comment) {
-						facts.Pooled[pkg.Path+"."+ts.Name.Name] = true
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if hasPooledMark(d.Doc) || hasPooledMark(ts.Doc) || hasPooledMark(ts.Comment) {
+							facts.Pooled[pkg.Path+"."+ts.Name.Name] = true
+						}
+					}
+				case *ast.FuncDecl:
+					ok, bad := uniformMark(d.Doc)
+					if bad.IsValid() {
+						facts.MalformedUniform = append(facts.MalformedUniform, pkg.Fset.Position(bad))
+					}
+					if ok {
+						if fn, isFn := pkg.Info.Defs[d.Name].(*types.Func); isFn {
+							facts.Uniform[fn] = true
+						}
 					}
 				}
 			}
 		}
 	}
+	facts.Graph = buildCallGraph(pkgs, facts)
 	return facts
+}
+
+// uniformRe matches the body of a //vet:uniform function-doc marker: the
+// word alone, then a dash/colon-separated reason. Like //vet:allow, the
+// reason is mandatory — the mark asserts a behavioral contract ("this
+// function's error is a deterministic function of its arguments") and the
+// reader deserves to know why it holds.
+var uniformRe = regexp.MustCompile(`^vet:uniform\s*(?:[—–:-]+\s*(\S.*))?$`)
+
+// uniformMark scans a function's doc comment for a //vet:uniform mark.
+// ok reports a well-formed mark; bad is the position of a mark missing
+// its reason (zero if none).
+func uniformMark(cg *ast.CommentGroup) (ok bool, bad token.Pos) {
+	if cg == nil {
+		return false, 0
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "vet:uniform") {
+			continue
+		}
+		m := uniformRe.FindStringSubmatch(text)
+		if m == nil || m[1] == "" {
+			return false, c.Pos()
+		}
+		return true, 0
+	}
+	return false, 0
 }
 
 func hasPooledMark(cg *ast.CommentGroup) bool {

@@ -17,12 +17,19 @@ import (
 // dynamically, one concrete lifetime at a time; this checks every use
 // site statically.
 //
-// Pooled sources are (a) arena.GrowBuf results and (b) slice-typed
-// fields and method results of types marked with a //vet:pooled doc
-// comment. Unexported functions may return pooled slices — that is the
+// Pooled sources are (a) arena.GrowBuf results, (b) slice-typed fields
+// and method results of types marked with a //vet:pooled doc comment,
+// and (c) — through the call-graph summaries — results of functions that
+// return pooled memory and passthrough parameters fed pooled arguments.
+// Unexported functions may return pooled slices — that is the
 // package-internal hand-off idiom (readBlock) whose contract the caller
-// sees — and assignments into fields of pooled types are the recycle
-// idiom itself.
+// sees, and the ReturnsPooled summary makes every such call site pooled
+// in turn — and assignments into fields of pooled types are the recycle
+// idiom itself. Passing a pooled slice to a callee that stores it beyond
+// the call (the ParamEscapes summary) is reported at the call site, in
+// whatever package the callee lives. Comm methods are exempt: the
+// transport's buffer-ownership contract is exercised dynamically by the
+// chaos and equivalence harnesses.
 var ArenaEscape = &Analyzer{
 	Name: "arenaescape",
 	Doc: "flag pooled read-arena/batch/frame slices stored beyond their lifetime: a recycled " +
@@ -50,11 +57,13 @@ func checkArenaFunc(pass *Pass, fd *ast.FuncDecl) {
 	// walked in source order, so a taint is visible to every later use
 	// in the common straight-line case.
 	tainted := make(map[types.Object]bool)
-
-	pooled := func(e ast.Expr) bool { return isPooledExpr(pass, e, tainted) }
+	scan := &pooledScan{info: pass.TypesInfo, facts: pass.Facts, tainted: tainted}
+	pooled := scan.pooled
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkEscapingArgs(pass, n, pooled)
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {
 				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
@@ -113,53 +122,21 @@ func checkArenaFunc(pass *Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// isPooledExpr reports whether e denotes pooled arena memory: a GrowBuf
-// call, a slice-typed selector on a //vet:pooled type, a method call on
-// a pooled type returning a slice, a tainted local, or a slice/append
-// derived from any of those.
-func isPooledExpr(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		obj := pass.TypesInfo.Uses[e]
-		return obj != nil && tainted[obj]
-	case *ast.CallExpr:
-		if isBuiltin(pass, e.Fun, "append") && len(e.Args) > 0 {
-			// Appending ONTO a pooled buffer aliases it (until a grow
-			// reallocates, which the caller cannot count on).
-			return isPooledExpr(pass, e.Args[0], tainted)
-		}
-		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
-			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
-				p := fn.Pkg().Path()
-				if fn.Name() == "GrowBuf" && (p == "arena" || strings.HasSuffix(p, "/arena")) {
-					return true
-				}
-			}
-			if selection, ok := pass.TypesInfo.Selections[sel]; ok &&
-				selection.Kind() == types.MethodVal && pass.Facts.PooledNamed(selection.Recv()) {
-				return isSliceType(pass, e)
-			}
-		}
-		return false
-	case *ast.SelectorExpr:
-		if selection, ok := pass.TypesInfo.Selections[e]; ok && selection.Kind() == types.FieldVal &&
-			pass.Facts.PooledNamed(selection.Recv()) && isSliceType(pass, e) {
-			return true
-		}
-		return false
-	case *ast.SliceExpr:
-		return isPooledExpr(pass, e.X, tainted)
-	case *ast.IndexExpr:
-		return isPooledExpr(pass, e.X, tainted)
+// checkEscapingArgs reports pooled arguments passed at parameter
+// positions the callee's summary marks as escaping — the callee parks the
+// slice in a package variable, channel, or non-pooled struct, so the
+// pooled memory outlives the call no matter what the caller does next.
+func checkEscapingArgs(pass *Pass, call *ast.CallExpr, pooled func(ast.Expr) bool) {
+	callee := staticFunc(pass.TypesInfo, call)
+	if callee == nil {
+		return
 	}
-	return false
-}
-
-func isSliceType(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	if !ok || tv.Type == nil {
-		return false
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && isCommType(sig.Recv().Type()) {
+		return // transport buffer ownership is the chaos harness's contract
 	}
-	_, ok = tv.Type.Underlying().(*types.Slice)
-	return ok
+	for i, escapes := range pass.Facts.Graph.ParamEscapes(callee) {
+		if escapes && i < len(call.Args) && pooled(call.Args[i]) {
+			pass.Reportf(call.Args[i].Pos(), "pooled arena slice passed to %s escapes the arena lifetime: the callee stores parameter %d beyond the call; copy it first", callee.Name(), i+1)
+		}
+	}
 }

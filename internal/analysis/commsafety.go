@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -16,11 +17,16 @@ import (
 // accumulate cost locally and charge it at a fixed program point on the
 // rank goroutine (parsepool's Compute-at-join discipline).
 //
-// The walk is static and intra-package: the body of every function the
-// goroutine can reach through direct same-package calls is scanned.
-// Calls through interfaces or function values are not chased — sinks and
-// Parser implementations are the escape points, and their contracts
-// ("must not touch the communicator") are documented at the interface.
+// The reachability walk runs over the whole-program call graph
+// (Facts.Graph): static calls in any loaded package plus CHA-resolved
+// interface calls with a unique implementation. Communicator calls
+// inside this package are reported at the call site; a reach that
+// crosses into another package is reported once at the in-package call
+// that leaves it, quoting the communicator operation it arrives at.
+// Calls through function values or many-implementation interfaces are
+// still not chased — sinks and Parser implementations are the escape
+// points, and their contracts ("must not touch the communicator") are
+// documented at the interface.
 var CommSafety = &Analyzer{
 	Name: "commsafety",
 	Doc: "flag mpi.Comm method calls reachable from goroutines spawned in internal/core: only the " +
@@ -30,62 +36,22 @@ var CommSafety = &Analyzer{
 }
 
 func runCommSafety(pass *Pass) error {
-	// Map every package-level function and method to its declaration so
-	// the reachability walk can hop static same-package calls.
-	decls := make(map[types.Object]*ast.FuncDecl)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-					decls[obj] = fd
-				}
-			}
-		}
-	}
-
-	visited := make(map[types.Object]bool)
-	var scan func(body ast.Node, spawn ast.Node)
-	scan = func(body ast.Node, spawn ast.Node) {
-		ast.Inspect(body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-				if selection, ok := pass.TypesInfo.Selections[sel]; ok &&
-					selection.Kind() == types.MethodVal && isCommType(selection.Recv()) {
-					pass.Reportf(call.Pos(), "mpi.Comm.%s reachable from the goroutine spawned at %s: only the rank goroutine may touch the communicator; accumulate cost and charge it at a fixed program point instead",
-						sel.Sel.Name, pass.Fset.Position(spawn.Pos()))
-					return true
-				}
-			}
-			if callee := staticCallee(pass, call); callee != nil {
-				if fd, ok := decls[callee]; ok && !visited[callee] {
-					visited[callee] = true
-					scan(fd.Body, spawn)
-				}
-			}
-			return true
-		})
-	}
-
+	g := pass.Facts.Graph
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
 				return true
 			}
+			seen := make(map[*types.Func]bool)
 			// Only the callee's body runs on the new goroutine — the
 			// arguments are evaluated synchronously by the spawner.
 			switch fun := ast.Unparen(gs.Call.Fun).(type) {
 			case *ast.FuncLit:
-				scan(fun.Body, gs)
+				scanSpawnedBody(pass, g, fun.Body, gs, seen)
 			default:
-				if callee := staticCallee(pass, gs.Call); callee != nil {
-					if fd, ok := decls[callee]; ok && !visited[callee] {
-						visited[callee] = true
-						scan(fd.Body, gs)
-					}
+				if fn := resolveCallee(g, pass.TypesInfo, gs.Call); fn != nil {
+					walkSpawned(pass, g, fn, gs, gs.Call.Pos(), seen)
 				}
 			}
 			return true
@@ -94,21 +60,84 @@ func runCommSafety(pass *Pass) error {
 	return nil
 }
 
-// staticCallee resolves a call to a statically known same-package
-// function or method object, or nil.
-func staticCallee(pass *Pass, call *ast.CallExpr) types.Object {
-	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		obj = pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = pass.TypesInfo.Uses[fun.Sel]
-	default:
-		return nil
+// scanSpawnedBody scans code that runs on a spawned goroutine within the
+// analyzed package, reporting direct communicator calls and following
+// every resolvable call edge.
+func scanSpawnedBody(pass *Pass, g *CallGraph, body ast.Node, spawn *ast.GoStmt, seen map[*types.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if selection, ok := pass.TypesInfo.Selections[sel]; ok &&
+				selection.Kind() == types.MethodVal && isCommType(selection.Recv()) {
+				pass.Reportf(call.Pos(), "mpi.Comm.%s reachable from the goroutine spawned at %s: only the rank goroutine may touch the communicator; accumulate cost and charge it at a fixed program point instead",
+					sel.Sel.Name, pass.Fset.Position(spawn.Pos()))
+				return true
+			}
+		}
+		if fn := resolveCallee(g, pass.TypesInfo, call); fn != nil {
+			walkSpawned(pass, g, fn, spawn, call.Pos(), seen)
+		}
+		return true
+	})
+}
+
+// walkSpawned continues the goroutine reachability walk into fn. Inside
+// the analyzed package, communicator calls report at their own site and
+// the walk recurses; the first hop into another package reports via that
+// package's summary at the crossing call, which keeps diagnostics inside
+// the package being vetted.
+func walkSpawned(pass *Pass, g *CallGraph, fn *types.Func, spawn *ast.GoStmt, site token.Pos, seen map[*types.Func]bool) {
+	if seen[fn] {
+		return
 	}
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
-		return nil
+	seen[fn] = true
+	node := g.Node(fn)
+	if node == nil {
+		return // standard library or unloadable: assumed comm-free
 	}
-	return fn
+	if node.Pkg.Types != pass.Pkg {
+		if via := g.CommVia(fn); via != "" {
+			pass.Reportf(site, "%s reachable from the goroutine spawned at %s via %s.%s: only the rank goroutine may touch the communicator; accumulate cost and charge it at a fixed program point instead",
+				via, pass.Fset.Position(spawn.Pos()), node.Pkg.Types.Name(), fn.Name())
+		}
+		return
+	}
+	for _, cc := range node.CommCalls {
+		pass.Reportf(cc.Call.Pos(), "%s reachable from the goroutine spawned at %s: only the rank goroutine may touch the communicator; accumulate cost and charge it at a fixed program point instead",
+			cc.Name(), pass.Fset.Position(spawn.Pos()))
+	}
+	for _, e := range node.Calls {
+		walkSpawned(pass, g, e.Callee, spawn, e.Site.Pos(), seen)
+	}
+	// Code inside non-spawned literals of fn runs on this goroutine too
+	// and was attributed to the node by the graph builder; spawns nested
+	// inside fn start further goroutines, whose bodies the builder
+	// recorded — still off the rank goroutine, so keep walking them.
+	for _, sp := range node.Spawns {
+		if sp.Body != nil {
+			scanSpawnedBody(pass, g, sp.Body, spawn, seen)
+		} else if sp.Callee != nil {
+			walkSpawned(pass, g, sp.Callee, spawn, sp.Stmt.Call.Pos(), seen)
+		}
+	}
+}
+
+// resolveCallee resolves a call to a declared function: statically, or
+// through the graph's unique-implementation CHA step for interface
+// methods.
+func resolveCallee(g *CallGraph, info *types.Info, call *ast.CallExpr) *types.Func {
+	if fn := staticFunc(info, call); fn != nil {
+		return fn
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			if iface, ok := selection.Recv().Underlying().(*types.Interface); ok && g != nil {
+				return g.uniqueImpl(iface, sel.Sel.Name)
+			}
+		}
+	}
+	return nil
 }

@@ -30,3 +30,14 @@ func TestArenaEscapeFixture(t *testing.T) {
 func TestErrWrapFixture(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), analysis.ErrWrap, "errwrap")
 }
+
+// The interprocedural analyzers' fixtures include cross-package cases
+// (collective/helper, commsafety/commhelper, arenaescape/sink): each
+// seeds at least one violation invisible to per-function analysis.
+func TestCollectiveFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.Collective, "collective")
+}
+
+func TestClockChargeFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.ClockCharge, "clockcharge")
+}

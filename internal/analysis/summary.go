@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Pooled-memory summaries over the call graph. These generalize
+// arenaescape's per-function taint into three cross-function facts:
+//
+//   - ReturnsPooled(f): f's own body can return a slice aliasing pooled
+//     arena memory — so every call site of f produces a pooled value.
+//   - ParamPassthrough(f)[i]: f may return a slice derived from its i-th
+//     parameter — so a pooled argument makes the result pooled.
+//   - ParamEscapes(f)[i]: f stores its i-th parameter (or a slice derived
+//     from it) somewhere that outlives the call — so passing pooled
+//     memory there is itself an escape, reported at the call site.
+//
+// All three are computed to fixpoint together, because each is defined
+// partly in terms of the others through helper chains (a returns b's
+// passthrough of a pooled field; c escapes a param by forwarding it to
+// d's escaping param).
+
+// pooledScan evaluates pooled-ness of expressions against one package's
+// type info plus the shared facts (marked types, call-graph summaries).
+// It is the engine behind both the summaries here and the arenaescape
+// analyzer's per-function walk.
+type pooledScan struct {
+	info    *types.Info
+	facts   *Facts
+	tainted map[types.Object]bool
+}
+
+// pooled reports whether e denotes pooled arena memory: a GrowBuf call, a
+// slice-typed selector on a //vet:pooled type, a method call on a pooled
+// type returning a slice, a tainted local, a call to a function
+// summarized as returning pooled memory, a call passing a pooled argument
+// through a passthrough parameter, or a slice/index/append derived from
+// any of those.
+func (s *pooledScan) pooled(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := s.info.Uses[e]
+		return obj != nil && s.tainted[obj]
+	case *ast.CallExpr:
+		if isBuiltinNamed(s.info, e.Fun, "append") && len(e.Args) > 0 {
+			// Appending ONTO a pooled buffer aliases it (until a grow
+			// reallocates, which the caller cannot count on).
+			return s.pooled(e.Args[0])
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := s.info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				if fn.Name() == "GrowBuf" && isArenaPkg(fn.Pkg().Path()) {
+					return true
+				}
+			}
+			if selection, ok := s.info.Selections[sel]; ok &&
+				selection.Kind() == types.MethodVal && s.facts.PooledNamed(selection.Recv()) {
+				return sliceTyped(s.info, e)
+			}
+		}
+		// Interprocedural: the callee's summary makes the result pooled.
+		if fn := staticFunc(s.info, e); fn != nil {
+			if s.facts.Graph.ReturnsPooled(fn) && sliceTyped(s.info, e) {
+				return true
+			}
+			for i, passes := range s.facts.Graph.ParamPassthrough(fn) {
+				if passes && i < len(e.Args) && s.pooled(e.Args[i]) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		if selection, ok := s.info.Selections[e]; ok && selection.Kind() == types.FieldVal &&
+			s.facts.PooledNamed(selection.Recv()) && sliceTyped(s.info, e) {
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		return s.pooled(e.X)
+	case *ast.IndexExpr:
+		return s.pooled(e.X)
+	}
+	return false
+}
+
+// taintLocals seeds s.tainted with every local whose assignment is
+// pooled, sweeping body in source order twice so a taint defined after
+// its first textual use (loop-carried hand-offs) is still seen.
+func (s *pooledScan) taintLocals(body *ast.BlockStmt, pkgScope *types.Scope) {
+	for sweep := 0; sweep < 2; sweep++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs, ok := rhsFor(as, i)
+				if !ok || !s.pooled(rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := s.info.Defs[id]
+				if obj == nil {
+					obj = s.info.Uses[id]
+				}
+				if obj == nil || obj.Parent() == pkgScope || s.tainted[obj] {
+					continue
+				}
+				s.tainted[obj] = true
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// rhsFor pairs the i-th LHS of an assignment with its RHS expression,
+// handling both n:=n and the single-RHS (call/comma-ok) forms.
+func rhsFor(as *ast.AssignStmt, i int) (ast.Expr, bool) {
+	if len(as.Rhs) == len(as.Lhs) {
+		return as.Rhs[i], true
+	}
+	if len(as.Rhs) == 1 {
+		return as.Rhs[0], true
+	}
+	return nil, false
+}
+
+// fixpointPooled computes ReturnsPooled, ParamPassthrough, and
+// ParamEscapes for every node. Each sweep re-evaluates every function
+// body against the current summaries; the facts only grow, so the loop
+// terminates.
+func (g *CallGraph) fixpointPooled() {
+	for changed := true; changed; {
+		changed = false
+		for fn, node := range g.nodes {
+			if g.evalPooledNode(fn, node) {
+				changed = true
+			}
+		}
+	}
+}
+
+// evalPooledNode recomputes node's three pooled summaries against the
+// current global state, reporting whether anything grew.
+func (g *CallGraph) evalPooledNode(fn *types.Func, node *FuncNode) bool {
+	info := node.Pkg.Info
+	scan := &pooledScan{info: info, facts: g.facts, tainted: make(map[types.Object]bool)}
+	scan.taintLocals(node.Decl.Body, node.Pkg.Types.Scope())
+
+	changed := false
+
+	// ReturnsPooled: any return statement in the body proper whose
+	// slice-typed result is pooled.
+	if !g.pooledRet[fn] {
+		inspectNoFuncLit(node.Decl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if sliceTyped(info, res) && scan.pooled(res) {
+					g.pooledRet[fn] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	params := paramObjects(info, node.Decl)
+	if len(params) == 0 {
+		return changed
+	}
+	origins := paramOrigins(info, node.Decl.Body, params, g)
+
+	pass := g.paramPass[fn]
+	esc := g.paramEsc[fn]
+	if pass == nil {
+		pass = make([]bool, len(params))
+		esc = make([]bool, len(params))
+	}
+	mark := func(dst []bool, set map[int]bool) {
+		for i := range set {
+			if i < len(dst) && !dst[i] {
+				dst[i] = true
+				changed = true
+			}
+		}
+	}
+
+	inspectNoFuncLit(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if sliceTyped(info, res) {
+					mark(pass, origins.of(res))
+				}
+			}
+		case *ast.SendStmt:
+			mark(esc, origins.of(n.Value))
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs, ok := rhsFor(n, i)
+				if !ok {
+					continue
+				}
+				set := origins.of(rhs)
+				if len(set) == 0 {
+					continue
+				}
+				switch lv := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					obj := objectOf(info, lv)
+					if obj != nil && obj.Parent() == node.Pkg.Types.Scope() {
+						mark(esc, set)
+					}
+				case *ast.SelectorExpr:
+					// Storing into a pooled type's own field keeps the
+					// memory inside the arena discipline; any other
+					// struct outlives the call.
+					if base, ok := info.Types[lv.X]; ok && g.facts.PooledNamed(base.Type) {
+						continue
+					}
+					mark(esc, set)
+				}
+			}
+		case *ast.CallExpr:
+			callee := staticFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			calleeEsc := g.paramEsc[callee]
+			for i, escapes := range calleeEsc {
+				if escapes && i < len(n.Args) {
+					mark(esc, origins.of(n.Args[i]))
+				}
+			}
+		}
+		return true
+	})
+
+	g.paramPass[fn] = pass
+	g.paramEsc[fn] = esc
+	return changed
+}
+
+// paramObjects returns the declared parameter objects of fd in signature
+// order (receiver excluded; it is covered by the pooled-type rules).
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, info.Defs[name])
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter cannot escape
+		}
+	}
+	return out
+}
+
+// originSet maps local objects to the set of parameter indices they may
+// be derived from.
+type originSet struct {
+	info *types.Info
+	objs map[types.Object]map[int]bool
+}
+
+// of returns the parameter origins of expression e, following the same
+// derivation shapes as pooled-ness (slice, index, append, passthrough
+// calls).
+func (o *originSet) of(e ast.Expr) map[int]bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := objectOf(o.info, e); obj != nil {
+			return o.objs[obj]
+		}
+	case *ast.SliceExpr:
+		return o.of(e.X)
+	case *ast.IndexExpr:
+		return o.of(e.X)
+	case *ast.CallExpr:
+		if isBuiltinNamed(o.info, e.Fun, "append") && len(e.Args) > 0 {
+			set := o.of(e.Args[0])
+			if !e.Ellipsis.IsValid() {
+				// A slice appended as an element ([][]byte growth)
+				// retains the header; a spread append copies bytes.
+				for _, arg := range e.Args[1:] {
+					if sliceTyped(o.info, arg) {
+						set = mergeOrigins(set, o.of(arg))
+					}
+				}
+			}
+			return set
+		}
+	}
+	return nil
+}
+
+// paramOrigins propagates parameter origins through local assignments
+// (two source-order sweeps), consulting callee passthrough summaries.
+func paramOrigins(info *types.Info, body *ast.BlockStmt, params []types.Object, g *CallGraph) *originSet {
+	o := &originSet{info: info, objs: make(map[types.Object]map[int]bool)}
+	for i, p := range params {
+		if p != nil {
+			o.objs[p] = map[int]bool{i: true}
+		}
+	}
+	add := func(obj types.Object, set map[int]bool) bool {
+		if obj == nil || len(set) == 0 {
+			return false
+		}
+		dst := o.objs[obj]
+		if dst == nil {
+			dst = make(map[int]bool)
+			o.objs[obj] = dst
+		}
+		grew := false
+		for i := range set {
+			if !dst[i] {
+				dst[i] = true
+				grew = true
+			}
+		}
+		return grew
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs, ok := rhsFor(as, i)
+				if !ok {
+					continue
+				}
+				set := o.of(rhs)
+				if set == nil {
+					// A passthrough call forwards its pooled-relevant
+					// argument origins to its result.
+					if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+						if callee := staticFunc(info, call); callee != nil {
+							for ai, passes := range g.paramPass[callee] {
+								if passes && ai < len(call.Args) {
+									set = mergeOrigins(set, o.of(call.Args[ai]))
+								}
+							}
+						}
+					}
+				}
+				if id, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					if add(objectOf(info, id), set) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return o
+}
+
+func mergeOrigins(dst, src map[int]bool) map[int]bool {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[int]bool)
+	}
+	for i := range src {
+		dst[i] = true
+	}
+	return dst
+}
+
+// objectOf resolves an identifier to its object, definition or use.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// sliceTyped reports whether e's static type is a slice.
+func sliceTyped(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Slice)
+	return ok
+}
+
+// isBuiltinNamed reports whether fun names the given builtin.
+func isBuiltinNamed(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isArenaPkg(p string) bool {
+	return p == "arena" || len(p) > 6 && p[len(p)-6:] == "/arena"
+}

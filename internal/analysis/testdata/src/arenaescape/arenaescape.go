@@ -4,7 +4,11 @@
 // GrowBuf detection is exercised against the true source.
 package arenaescape
 
-import "repro/internal/arena"
+import (
+	"arenaescape/sink"
+
+	"repro/internal/arena"
+)
 
 // readPool mirrors core's readArena: a marked pooled type whose fields
 // are recycled buffers.
@@ -56,6 +60,17 @@ func badGlobal(n int) {
 // A channel send hands the buffer to a goroutine that races the reuse.
 func badSend(p *readPool, ch chan []byte, n int) {
 	ch <- p.frame[:n] // want `sent on a channel`
+}
+
+// Interprocedural escape: sink.Park stores its parameter in a package
+// variable, which only the call-graph summary can see from here.
+func badInterprocStore(p *readPool, n int) {
+	sink.Park(p.block[:n]) // want `passed to Park escapes the arena lifetime`
+}
+
+// A callee that only reads its argument does not extend the lifetime.
+func goodInterprocRead(p *readPool, n int) int {
+	return sink.Sum(p.block[:n])
 }
 
 // Copying is the sanctioned way out of the arena.

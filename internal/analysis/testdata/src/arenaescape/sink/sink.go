@@ -1,0 +1,20 @@
+// Package sink hosts a parameter-retaining callee for the arenaescape
+// fixture: Park stores its argument beyond the call, so passing pooled
+// memory to it leaks the arena across the package boundary.
+package sink
+
+var parked [][]byte
+
+// Park retains b for later batch processing.
+func Park(b []byte) {
+	parked = append(parked, b)
+}
+
+// Sum only reads its argument and retains nothing.
+func Sum(b []byte) int {
+	total := 0
+	for _, v := range b {
+		total += int(v)
+	}
+	return total
+}

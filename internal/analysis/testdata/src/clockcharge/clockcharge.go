@@ -1,0 +1,110 @@
+// Package clockcharge is the analysistest fixture for the clockcharge
+// analyzer: off-clock cost accumulated from the costmodel package must
+// reach a Comm.Compute charge, and every charging function must charge on
+// every non-error path. The fixture imports the real costmodel and
+// communicator so accumulator and charge detection run against the true
+// types.
+package clockcharge
+
+import (
+	"errors"
+
+	"repro/internal/costmodel"
+	"repro/internal/mpi"
+)
+
+func check(sizes []int) error {
+	if len(sizes) == 0 {
+		return errors.New("no sizes")
+	}
+	return nil
+}
+
+// An accumulator the function never charges silently deflates every
+// reported virtual time.
+func badNeverCharged(c *mpi.Comm, sizes []int) float64 {
+	var cost float64
+	for _, n := range sizes {
+		cost += costmodel.FilterTest * float64(n) // want `never charged to the virtual clock`
+	}
+	_ = c
+	return cost
+}
+
+// A non-error path that skips the charge makes virtual time depend on
+// which path ran.
+func badSkippedPath(c *mpi.Comm, sizes []int, flush bool) {
+	var cost float64
+	for _, n := range sizes {
+		cost += costmodel.FilterTest * float64(n)
+	}
+	if !flush {
+		return // want `returns here without charging`
+	}
+	c.Compute(cost)
+}
+
+// A field accumulator nothing in the package charges is dead cost.
+type leakyTracker struct {
+	cost float64
+}
+
+func (t *leakyTracker) add(n int) {
+	t.cost += costmodel.FilterTest * float64(n) // want `no function in the package reaches a Comm.Compute mentioning it`
+}
+
+// The sanctioned shape: accumulate off-clock, charge at one fixed point.
+func goodCharged(c *mpi.Comm, sizes []int) {
+	var cost float64
+	for _, n := range sizes {
+		cost += costmodel.FilterTest * float64(n)
+	}
+	c.Compute(cost)
+}
+
+// Error-guarded returns are exempt: an erroring rank owes no charge.
+func goodErrorPath(c *mpi.Comm, sizes []int) error {
+	var cost float64
+	for _, n := range sizes {
+		cost += costmodel.FilterTest * float64(n)
+	}
+	if err := check(sizes); err != nil {
+		return err
+	}
+	c.Compute(cost)
+	return nil
+}
+
+// The `if acc > 0 { charge }` idiom: the skipping path owes nothing.
+func goodGuardedCharge(c *mpi.Comm, n int) {
+	var cost float64
+	cost += costmodel.FilterTest * float64(n)
+	if cost > 0 {
+		c.Compute(cost)
+	}
+}
+
+// charge reaches the clock; ChargesClock summarizes it, so feeding an
+// accumulator to it counts as charging — the interprocedural case.
+func charge(c *mpi.Comm, d float64) {
+	c.Compute(d)
+}
+
+type tracker struct {
+	cost float64
+}
+
+func (t *tracker) add(n int) {
+	t.cost += costmodel.FilterTest * float64(n)
+}
+
+func (t *tracker) flush(c *mpi.Comm) {
+	charge(c, t.cost)
+}
+
+// The escape hatch, for accumulators that are intentionally off-clock.
+func allowedEstimate(n int) float64 {
+	var estimate float64
+	estimate += costmodel.FilterTest * float64(n) //vet:allow clockcharge — fixture: estimator output, intentionally never charged
+	return estimate
+}

@@ -1,0 +1,26 @@
+// Package helper hosts the collective fixture's cross-package callees: a
+// wrapper whose collective is invisible to per-function analysis of its
+// callers, and a //vet:uniform-marked validator.
+package helper
+
+import (
+	"errors"
+
+	"repro/internal/mpi"
+)
+
+// Exchange runs one allgather round. A caller sees only an opaque call;
+// the collective inside is reachable only through the call-graph summary.
+func Exchange(c *mpi.Comm, buf []byte) ([][]byte, error) {
+	return c.Allgather(buf)
+}
+
+// Validate rejects non-positive sizes.
+//
+//vet:uniform — fixture: pure validation of its argument, identical on every rank
+func Validate(n int) error {
+	if n <= 0 {
+		return errors.New("helper: size must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package commhelper hosts a cross-package communicator toucher for the
+// commsafety fixture: per-function analysis of a spawner sees only an
+// opaque call into this package.
+package commhelper
+
+import "repro/internal/mpi"
+
+// ChargeAll advances the caller's virtual clock.
+func ChargeAll(c *mpi.Comm) { c.Compute(1.0) }

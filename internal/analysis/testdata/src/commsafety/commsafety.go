@@ -5,7 +5,11 @@
 // type-accurate.
 package commsafety
 
-import "repro/internal/mpi"
+import (
+	"commsafety/commhelper"
+
+	"repro/internal/mpi"
+)
 
 // Direct violation in a goroutine literal.
 func badLiteral(c *mpi.Comm) {
@@ -22,6 +26,13 @@ func badTransitive(c *mpi.Comm) {
 
 func helper(c *mpi.Comm)    { chargeAll(c) }
 func chargeAll(c *mpi.Comm) { c.Compute(1.0) } // want `mpi.Comm.Compute reachable from the goroutine`
+
+// Violation across a package boundary: the communicator call lives in
+// commhelper, invisible without the call-graph summary; the diagnostic
+// lands on the crossing call and quotes the operation it arrives at.
+func badCrossPackage(c *mpi.Comm) {
+	go commhelper.ChargeAll(c) // want `mpi.Comm.Compute reachable from the goroutine spawned at .* via commhelper.ChargeAll`
+}
 
 // The rank goroutine itself may use the communicator freely, including
 // inside function literals it calls synchronously.

@@ -11,7 +11,7 @@ import (
 
 // Analyzers returns the full vectorio-vet suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Wallclock, CommSafety, MapOrder, ArenaEscape, ErrWrap}
+	return []*Analyzer{Wallclock, CommSafety, MapOrder, ArenaEscape, ErrWrap, Collective, ClockCharge}
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing a

@@ -201,6 +201,7 @@ func (pt *Partitioner) ExchangeStream(c *mpi.Comm, local []geom.Geometry, sink f
 	if err := ex.Add(local); err != nil {
 		return ex.stats, err
 	}
+	//vet:allow collective — an Add failure (unencodable geometry) leaves this rank nothing to exchange; the strict-mode contract is world-abort teardown, releasing the peers with ErrAborted (TestChaosFrameCorruption pins it)
 	return ex.FinishStream(sink)
 }
 
@@ -284,12 +285,16 @@ type placement struct {
 // the same grid, so the validation fails all ranks identically — deferring
 // to the per-frame guard would abort one rank mid-collective and strand
 // its peers in the count exchange).
+//
+//vet:uniform — validates only the shared Partitioner configuration, never rank-local state
 func (pt *Partitioner) Stream(c *mpi.Comm) (*Exchanger, error) {
 	return pt.stream(c, false)
 }
 
 // stream opens the exchange in streaming (serialize-at-Add) or deferred
 // (serialize-at-Finish, for the materialized Exchange wrapper) mode.
+//
+//vet:uniform — validates only the shared grid's cell count, never rank-local state
 func (pt *Partitioner) stream(c *mpi.Comm, lateSer bool) (*Exchanger, error) {
 	numCells := pt.Grid.NumCells()
 	// Cell ids travel in a u32 frame header.
@@ -500,6 +505,7 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 		for dst, b := range send {
 			binary.LittleEndian.PutUint64(counts[dst*8:], uint64(len(b)))
 		}
+		//vet:allow collective — a rank whose frames fail to encode or decode in strict mode has nothing further to exchange; the documented contract is world-abort teardown, releasing the peers with ErrAborted (TestChaosFrameCorruption pins it)
 		gotCounts, err := c.AlltoallFixed(counts, 8)
 		if err != nil {
 			return ex.stats, fmt.Errorf("core: count exchange: %w", err)
@@ -509,6 +515,7 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 		}
 
 		// Round 2: exchange the coordinate payload (MPI_Alltoallv).
+		//vet:allow collective — same strict-mode world-abort contract as the count exchange above
 		parts, err := c.Alltoallv(send, recvSizes)
 		if err != nil {
 			return ex.stats, fmt.Errorf("core: payload exchange: %w", err)

@@ -748,6 +748,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 		}
 
 		t0 := c.Now()
+		//vet:allow collective — token-chain halo overflow (reader.go:~810) cannot defer: the successor is blocked on a phase token this rank cannot construct, so the world abort is the only teardown that unblocks the chain
 		block, err := ar.readBlock(c, f, opt.Level, extStart, extLen)
 		if err != nil {
 			return nil, pc.stats, ioErr(c.Rank(), file, extStart, fmt.Sprintf("overlap iteration %d read", i), err)
@@ -848,11 +849,14 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 			if incomplete {
 				// No complete record at pos: either the file ends inside it
 				// (settled by the framing's EOF rule) or it overflows the
-				// halo.
+				// halo. The overflow is rank-local — only this rank's block
+				// truncates the record — so it is deferred through pc.fail
+				// and settled collectively in finish(), like parse errors;
+				// an immediate return here would strand the other ranks in
+				// the next iteration's read.
 				if extStart+int64(len(block)) < fileSize {
-					return nil, pc.stats, ioErr(c.Rank(), file, start, fmt.Sprintf("overlap iteration %d", i), ErrGeometryTooLarge)
-				}
-				if payload, emit, err := fr.eofTail(block[pos:]); err != nil {
+					pc.fail(ioErr(c.Rank(), file, start, fmt.Sprintf("overlap iteration %d", i), ErrGeometryTooLarge))
+				} else if payload, emit, err := fr.eofTail(block[pos:]); err != nil {
 					pc.fail(err)
 				} else if emit {
 					pc.rawRecord(payload)
@@ -860,6 +864,7 @@ func readOverlap(c *mpi.Comm, f *mpiio.File, p Parser, opt ReadOptions, fr Frami
 			}
 		}
 	}
+	//vet:allow collective — reachable only past the token-chain halo-overflow return above, whose world-abort teardown is sanctioned there
 	return pc.finish()
 }
 

@@ -299,6 +299,7 @@ func (f *File) ReadAtAll(buf []byte, off int64) (int, error) {
 			ov := plan.cycleSlice(k, c).overlap(plan.reqs[rank])
 			recvSizes[ar] += int(ov.length)
 		}
+		//vet:allow collective — an aggregator whose fillAt read failed has no slice to serve; its early return is best-effort teardown and the world abort releases the peers with ErrAborted (see the fillAt comment above)
 		parts, aerr := f.comm.Alltoallv(send, recvSizes)
 		if aerr != nil {
 			return 0, aerr

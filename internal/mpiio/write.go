@@ -61,6 +61,7 @@ func (f *File) WriteAtAll(buf []byte, off int64) (int, error) {
 				recvSizes[r] = int(sl.overlap(plan.reqs[r]).length)
 			}
 		}
+		//vet:allow collective — an aggregator whose WriteAt failed cannot accept the next cycle's pieces; its early return is best-effort teardown and the world abort releases the peers with ErrAborted
 		parts, aerr := f.comm.Alltoallv(send, recvSizes)
 		if aerr != nil {
 			return 0, aerr
@@ -256,6 +257,7 @@ func (f *File) WriteViewAll(buf []byte, viewOff int64) (int, error) {
 				}
 			}
 		}
+		//vet:allow collective — an aggregator whose WriteAt failed cannot accept the next cycle's pieces; its early return is best-effort teardown and the world abort releases the peers with ErrAborted
 		parts, aerr := f.comm.Alltoallv(send, recvSizes)
 		if aerr != nil {
 			return 0, aerr

@@ -38,6 +38,8 @@ type IndexStream struct {
 // required (when the envelope is unknown, read first and use the
 // materialized BuildIndex, which derives it with the MPI_UNION
 // Allreduce). All ranks must call it collectively with identical options.
+//
+//vet:uniform — validates only the shared IndexOptions; identical options fail every rank identically
 func BuildIndexStream(c *mpi.Comm, opt IndexOptions) (*IndexStream, error) {
 	if opt.Envelope == nil || opt.Envelope.IsEmpty() {
 		return nil, fmt.Errorf("spatial: BuildIndexStream requires a non-empty IndexOptions.Envelope")
@@ -53,6 +55,8 @@ func BuildIndexStream(c *mpi.Comm, opt IndexOptions) (*IndexStream, error) {
 // newIndexStream opens the streaming exchange over an already-built grid —
 // the shared core of BuildIndexStream and the one-pass RangeQueryFiles
 // (whose grid granularity comes from JoinOptions instead).
+//
+//vet:uniform — only Partitioner.Stream grid validation can fail, and the grid is rank-uniform
 func newIndexStream(c *mpi.Comm, g *grid.Grid, window int, skipBad bool) (*IndexStream, error) {
 	pt := &core.Partitioner{Grid: g, WindowCells: window, SkipBadFrames: skipBad}
 	ex, err := pt.Stream(c)
