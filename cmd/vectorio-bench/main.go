@@ -9,6 +9,7 @@
 //	vectorio-bench -exp fig17 -scale-mul 4 -quick
 //	vectorio-bench -bench-ingest        # wall-clock ingest baseline -> BENCH_ingest.json
 //	vectorio-bench -bench-query         # refresh the streamed-vs-materialized index rows
+//	vectorio-bench -bench-skew          # refresh the uniform-vs-adaptive partition rows
 //
 // -scale-mul multiplies every dataset's default scale factor (larger means
 // smaller real files and faster runs); -quick shrinks parameter sweeps.
@@ -23,6 +24,12 @@
 // composition, throughput and peak heap — and merges them into an existing
 // BENCH_ingest.json, leaving every other section untouched. See
 // internal/bench/README.md for how and when to regenerate.
+//
+// -bench-skew measures only the skew rows — read+partition+exchange on
+// skewed datasets under the uniform grid and under the sample-built
+// adaptive partition, reporting each placement's max/mean per-rank load
+// imbalance — and merges them into an existing BENCH_ingest.json the same
+// way.
 package main
 
 import (
@@ -43,7 +50,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps")
 	ingest := flag.Bool("bench-ingest", false, "measure the wall-clock ingest baseline and write BENCH_ingest.json")
 	query := flag.Bool("bench-query", false, "measure the streamed-vs-materialized file-to-query rows and merge them into BENCH_ingest.json")
-	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest / -bench-query")
+	skew := flag.Bool("bench-skew", false, "measure the uniform-vs-adaptive partition rows on skewed datasets and merge them into BENCH_ingest.json")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest / -bench-query / -bench-skew")
 	flag.Parse()
 
 	if *list {
@@ -55,19 +63,19 @@ func main() {
 
 	cfg := bench.Config{ScaleMul: *scaleMul, Quick: *quick}
 
-	if *query {
-		fail := func(err error) {
-			fmt.Fprintln(os.Stderr, "vectorio-bench: bench-query:", err)
-			os.Exit(1)
+	if *query || *skew {
+		what := "bench-query"
+		if *skew {
+			what = "bench-skew"
 		}
-		rows, err := bench.RunQueryReport(cfg)
-		if err != nil {
-			fail(err)
+		fail := func(err error) {
+			fmt.Fprintln(os.Stderr, "vectorio-bench:", what+":", err)
+			os.Exit(1)
 		}
 		// Merge into the existing artifact so the parser/ingest/exchange
 		// sections keep their provenance; start fresh only when there
 		// genuinely is none — any other read failure must not silently
-		// overwrite the sections this flag promises to preserve.
+		// overwrite the sections these flags promise to preserve.
 		var rep bench.IngestReport
 		payload, err := os.ReadFile(*ingestOut)
 		switch {
@@ -78,7 +86,25 @@ func main() {
 		case !os.IsNotExist(err):
 			fail(fmt.Errorf("reading existing %s: %w", *ingestOut, err))
 		}
-		rep.IndexQuery = rows
+		updated := "index_query"
+		if *query {
+			rows, err := bench.RunQueryReport(cfg)
+			if err != nil {
+				fail(err)
+			}
+			rep.IndexQuery = rows
+		}
+		if *skew {
+			rows, err := bench.RunSkewReport(cfg)
+			if err != nil {
+				fail(err)
+			}
+			rep.Skew = rows
+			updated = "skew"
+			if *query {
+				updated = "index_query and skew"
+			}
+		}
 		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 		if rep.GoVersion == "" {
 			rep.GoVersion = runtime.Version()
@@ -92,7 +118,7 @@ func main() {
 		if err := os.WriteFile(*ingestOut, out, 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Printf("   (updated index_query rows in %s)\n", *ingestOut)
+		fmt.Printf("   (updated %s rows in %s)\n", updated, *ingestOut)
 		return
 	}
 

@@ -143,6 +143,30 @@ func goodUniformGuard(c *mpi.Comm, n int) error {
 	return c.Barrier()
 }
 
+// The sample → analyze → tune partition pass: reduce the sampled loads
+// so every rank holds the identical histogram, then guard the following
+// collective on the rank-uniform builder — identical inputs fail every
+// rank identically, so the schedule cannot split.
+func goodPartitionBuild(c *mpi.Comm, weights []byte) error {
+	red, err := c.Allreduce(weights, len(weights)/8, mpi.Float64, mpi.OpSumFloat64)
+	if err != nil {
+		return err
+	}
+	if err := helper.BuildPartition(len(red)/8, c.Size()); err != nil {
+		return err
+	}
+	return c.Barrier()
+}
+
+// The same builder fed a rank-derived knob loses its guarantee: one
+// rank's constructor can fail while its peers march into the barrier.
+func badPartitionBuildRankArg(c *mpi.Comm) error {
+	if err := helper.BuildPartition(64, c.Rank()); err != nil {
+		return err
+	}
+	return c.Barrier() // want `reachable after a non-collectively-settled early return`
+}
+
 // The escape hatch, for sites whose teardown contract the analyzer
 // cannot see.
 func allowedTeardown(c *mpi.Comm, buf []byte) error {

@@ -24,3 +24,19 @@ func Validate(n int) error {
 	}
 	return nil
 }
+
+// BuildPartition stands in for the adaptive-partition constructor chain
+// (histogram → quadtree split → curve placement): pure validation and
+// analysis of its arguments, so ranks passing the same reduced sample
+// build the same partition or fail identically.
+//
+//vet:uniform — fixture: pure function of its arguments, identical on every rank
+func BuildPartition(side, ranks int) error {
+	if side <= 0 || side&(side-1) != 0 {
+		return errors.New("helper: histogram side must be a positive power of two")
+	}
+	if ranks <= 0 {
+		return errors.New("helper: partition needs a positive rank count")
+	}
+	return nil
+}

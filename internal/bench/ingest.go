@@ -118,6 +118,10 @@ type IngestReport struct {
 	// (see IndexRun). `vectorio-bench -bench-query` refreshes just these
 	// rows in an existing BENCH_ingest.json.
 	IndexQuery []IndexRun `json:"index_query"`
+	// Skew carries the uniform-vs-adaptive partition placement rows on
+	// skewed datasets (see SkewRun). `vectorio-bench -bench-skew` refreshes
+	// just these rows in an existing BENCH_ingest.json.
+	Skew []SkewRun `json:"skew"`
 }
 
 // seedParserBaseline is the seed (pre-rewrite) scanner measured on the same
@@ -258,6 +262,14 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 		return nil, err
 	}
 	rep.IndexQuery = rows
+
+	// Placement under skew: the uniform grid against the sample-built
+	// adaptive partition (`-bench-skew` refreshes just these rows).
+	skew, err := RunSkewReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Skew = skew
 	return rep, nil
 }
 
@@ -620,6 +632,15 @@ func (r *IngestReport) IngestTable() *Table {
 			fmt.Sprintf("%.1f", run.MBPerSec),
 			fmt.Sprintf("peak %.1f MB", run.PeakHeapMB),
 			fmt.Sprintf("alloc %.0f MB", run.TotalAllocMB),
+		})
+	}
+	for _, run := range r.Skew {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("skew[%s %s x%d]", run.Dataset, run.Partition, run.Ranks),
+			fmt.Sprintf("%d cells", run.Cells),
+			fmt.Sprintf("%.1f", run.MBPerSec),
+			fmt.Sprintf("geom imb %.2f", run.GeomImbalance),
+			fmt.Sprintf("byte imb %.2f", run.ByteImbalance),
 		})
 	}
 	return t

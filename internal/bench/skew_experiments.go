@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// SkewRun is one read+partition+exchange measurement under spatial skew,
+// comparing cell placements: the uniform grid with round-robin ownership
+// against the skew-aware adaptive partition (sample → quadtree split →
+// Hilbert bin-packing, core.SamplePartition). GeomImbalance and
+// ByteImbalance are core.ExchangeStats' max/mean per-rank load factors
+// (1.0 = perfectly balanced); the adaptive rows are expected to sit well
+// below their uniform siblings on skewed data. WallSeconds includes the
+// adaptive rows' sampling pass — the overhead the better placement pays.
+type SkewRun struct {
+	Dataset       string  `json:"dataset"`
+	Format        string  `json:"format"`
+	Partition     string  `json:"partition"` // "uniform" or "adaptive"
+	Ranks         int     `json:"ranks"`
+	Cells         int     `json:"cells"`
+	Records       int     `json:"records"`
+	GeomsRecv     int     `json:"geoms_recv"`
+	BytesRead     int64   `json:"bytes_read"`
+	GeomImbalance float64 `json:"geom_imbalance"`
+	ByteImbalance float64 `json:"byte_imbalance"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+// skewDatasets are the skewed layers the placement comparison runs on: the
+// clustered Table 3 polygon layer and the extreme-Zipf point stress preset.
+func skewDatasets() []datagen.Spec {
+	return []datagen.Spec{datagen.Lakes(), datagen.Hotspot()}
+}
+
+// RunSkewReport measures the skew rows — the `vectorio-bench -bench-skew`
+// payload, merged into an existing BENCH_ingest.json without disturbing
+// the other sections.
+func RunSkewReport(cfg Config) ([]SkewRun, error) {
+	var rows []SkewRun
+	for _, spec := range skewDatasets() {
+		for _, adaptive := range []bool{false, true} {
+			run, err := skewOnce(cfg, spec, 4, adaptive)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, run)
+		}
+	}
+	return rows, nil
+}
+
+// skewOnce runs one read+partition+exchange pass over the dataset with the
+// chosen placement. Both placements read the same generated file with the
+// same options; only the partition differs — uniform rows build the 16x16
+// grid over the generator's world envelope (round-robin ownership),
+// adaptive rows run the sampling pass first and exchange over the
+// partition it returns.
+func skewOnce(cfg Config, spec datagen.Spec, ranks int, adaptive bool) (SkewRun, error) {
+	scale := cfg.scale(spec.DefaultScale)
+	f, err := datasetEncoded(spec, scale, datagen.EncodingWKT, pfs.RogerGPFS(), 0, 0)
+	if err != nil {
+		return SkewRun{}, err
+	}
+	opt := core.ReadOptions{BlockSize: realBytes(256<<20, scale)}
+	parser := func() core.Parser { return core.NewWKTParser() }
+	world := geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+
+	var (
+		mu            sync.Mutex
+		records       int
+		geomsRecv     int
+		bytesRead     int64
+		cells         int
+		geomImbalance float64
+		byteImbalance float64
+	)
+	start := time.Now()
+	err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		mf := mpiio.Open(c, f, mpiio.Hints{})
+		var g grid.Partition
+		var err error
+		if adaptive {
+			// A denser sample than the defaults: the generated files are
+			// tiny (tens of MB real), so the default 4 MiB / stride-16
+			// prefix sees too few records for the cost-model split floor,
+			// and the global hotspot preset is tighter than a 64-bin
+			// histogram resolves. A quarter of the file at stride 4 with
+			// 256 bins per axis keeps the pass cheap while giving the
+			// quadtree enough signal to actually spread the hot cells.
+			g, err = core.SamplePartition(c, mf, parser(), opt, core.PartitionOptions{
+				Envelope:      &world,
+				SampleBytes:   f.Size() / 4,
+				SampleStride:  4,
+				HistogramSide: 256,
+			})
+		} else {
+			g, err = grid.New(world, 16, 16)
+		}
+		if err != nil {
+			return err
+		}
+		pt := &core.Partitioner{Grid: g, DirectGrid: true}
+		_, rstats, estats, err := core.ReadExchange(c, mf, parser(), opt, pt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		records += rstats.Records
+		geomsRecv += estats.GeomsRecv
+		bytesRead += rstats.BytesRead
+		if c.Rank() == 0 { // the imbalance factors are rank-identical
+			cells = g.NumCells()
+			geomImbalance = estats.GeomImbalance
+			byteImbalance = estats.ByteImbalance
+		}
+		mu.Unlock()
+		return nil
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return SkewRun{}, fmt.Errorf("skew %s adaptive=%v: %w", spec.Name, adaptive, err)
+	}
+	partition := "uniform"
+	if adaptive {
+		partition = "adaptive"
+	}
+	return SkewRun{
+		Dataset:       spec.Name,
+		Format:        datagen.EncodingWKT.String(),
+		Partition:     partition,
+		Ranks:         ranks,
+		Cells:         cells,
+		Records:       records,
+		GeomsRecv:     geomsRecv,
+		BytesRead:     bytesRead,
+		GeomImbalance: geomImbalance,
+		ByteImbalance: byteImbalance,
+		WallSeconds:   wall,
+		MBPerSec:      float64(bytesRead) / wall / 1e6,
+	}, nil
+}

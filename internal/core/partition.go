@@ -88,9 +88,12 @@ func quarantineFrame(part []byte) (skipped int, rest []byte) {
 // MPI_Alltoallv for the coordinate payload — optionally in sliding-window
 // phases to bound memory.
 type Partitioner struct {
-	// Grid is the cellular decomposition.
-	Grid *grid.Grid
-	// Mapping assigns cells to ranks; nil means round-robin (§4.2.3).
+	// Grid is the cellular decomposition: the uniform grid.Grid of §4.2 or
+	// the skew-aware grid.Adaptive built by SamplePartition.
+	Grid grid.Partition
+	// Mapping assigns cells to ranks; nil uses the partition's own
+	// placement when it carries one (grid.Mapper) and round-robin (§4.2.3)
+	// otherwise.
 	Mapping func(cell, size int) int
 	// WindowCells bounds how many consecutive cells are exchanged per
 	// phase (the sliding-window technique for large data). Zero exchanges
@@ -98,8 +101,10 @@ type Partitioner struct {
 	WindowCells int
 	// DirectGrid replaces the paper's cell-lookup mechanism — an R-tree
 	// built over the cell boundaries, queried with each geometry's MBR —
-	// with direct uniform-grid arithmetic. The assignments are identical;
-	// the arithmetic is cheaper (see the ablation-cellindex experiment).
+	// with the partition's own lookup (uniform-grid arithmetic, or the
+	// adaptive partition's quadtree descent). The assignments are
+	// identical; the direct path is cheaper (see the ablation-cellindex
+	// experiment).
 	DirectGrid bool
 	// SkipBadFrames quarantines received exchange frames that fail to
 	// decode (or claim cells this rank does not own) instead of failing the
@@ -132,6 +137,18 @@ type ExchangeStats struct {
 	GeomsRecv int
 	// BytesSent counts serialized payload bytes shipped by this rank.
 	BytesSent int64
+	// BytesRecv counts serialized payload bytes landing on this rank — the
+	// per-rank exchange load the skew-aware partition balances.
+	BytesRecv int64
+	// GeomImbalance and ByteImbalance are the load-balance factors of the
+	// whole exchange — max over ranks divided by mean over ranks, of the
+	// geometries and payload bytes each rank receives — computed from the
+	// allgathered per-phase count matrix, so every rank reports the same
+	// number without a trailing collective. 1.0 is a perfect balance; a
+	// uniform grid on skewed data runs far above it. Zero when nothing was
+	// exchanged.
+	GeomImbalance float64
+	ByteImbalance float64
 	// FramesQuarantined counts received frames dropped under SkipBadFrames
 	// (zero when the policy is off — bad frames fail the exchange instead).
 	FramesQuarantined int
@@ -144,7 +161,7 @@ func (pt *Partitioner) mapping() func(cell, size int) int {
 	if pt.Mapping != nil {
 		return pt.Mapping
 	}
-	return grid.RoundRobin
+	return grid.MappingOf(pt.Grid)
 }
 
 // Exchange projects local geometries to grid cells and performs the global
@@ -226,7 +243,7 @@ func (pt *Partitioner) ExchangeStream(c *mpi.Comm, local []geom.Geometry, sink f
 type Exchanger struct {
 	c         *mpi.Comm
 	mapping   func(cell, size int) int
-	grid      *grid.Grid
+	grid      grid.Partition
 	cellIndex *grid.CellIndex
 	scale     float64
 	size      int
@@ -245,6 +262,11 @@ type Exchanger struct {
 	// bound for overlap: serialized frames are compact, and the batch's
 	// geometries are droppable the moment Add returns.
 	send [][][]byte
+	// sendGeoms counts staged frames as sendGeoms[phase][dst] (streaming
+	// mode) — the geometry half of the count matrix each phase's Allgather
+	// publishes for load-balance observability. Rows allocate with their
+	// send rows; deferred mode counts during Finish's staging loop instead.
+	sendGeoms [][]int64
 	// serCost accumulates each phase's deferred per-geometry serialization
 	// charge (the per-byte part is derived from buffer sizes at Finish).
 	serCost []float64
@@ -323,6 +345,7 @@ func (pt *Partitioner) stream(c *mpi.Comm, lateSer bool) (*Exchanger, error) {
 	ex.stats.Phases = ex.phases
 	if !lateSer {
 		ex.send = make([][][]byte, ex.phases)
+		ex.sendGeoms = make([][]int64, ex.phases)
 		ex.serCost = make([]float64, ex.phases)
 	}
 	return ex, nil
@@ -380,12 +403,14 @@ func (ex *Exchanger) Add(batch []geom.Geometry) error {
 			if row == nil {
 				row = make([][]byte, ex.size)
 				ex.send[ph] = row
+				ex.sendGeoms[ph] = make([]int64, ex.size)
 			}
 			buf, err := appendExchangeFrame(row[dst], cell, g)
 			if err != nil {
 				return err
 			}
 			row[dst] = buf
+			ex.sendGeoms[ph][dst]++
 			ex.serCost[ph] += costmodel.SerializeGeomCost(g.GeomType())
 		}
 	}
@@ -446,15 +471,23 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 	ex.projCost = 0
 	var sinkErr error
 
-	counts := make([]byte, ex.size*8)
+	countRow := make([]byte, ex.size*16)
 	recvSizes := make([]int, ex.size)
+	// Per-rank incoming loads, accumulated from the allgathered count
+	// matrix — every rank sums the same rows, so the totals (and the
+	// balance factors derived from them after the last phase) are
+	// rank-identical without any trailing collective.
+	loadBytes := make([]int64, ex.size)
+	loadGeoms := make([]int64, ex.size)
 	// Streaming mode: emptyRow stands in for phases this rank staged
 	// nothing into. Deferred mode: lateSend is the one per-destination
 	// buffer set, serialized into afresh and recycled every phase — the
 	// sliding window's memory bound.
 	var emptyRow, lateSend [][]byte
+	var lateGeoms []int64
 	if ex.lateSer {
 		lateSend = make([][]byte, ex.size)
+		lateGeoms = make([]int64, ex.size)
 	} else {
 		emptyRow = make([][]byte, ex.size)
 	}
@@ -472,6 +505,7 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 			cellHi := min(cellLo+ex.window, ex.numCells)
 			for i := range lateSend {
 				lateSend[i] = lateSend[i][:0]
+				lateGeoms[i] = 0
 			}
 			for _, pl := range ex.placements {
 				if pl.cell < cellLo || pl.cell >= cellHi {
@@ -483,6 +517,7 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 					return ex.stats, err
 				}
 				lateSend[dst] = buf
+				lateGeoms[dst]++
 				serGeomCost += costmodel.SerializeGeomCost(pl.g.GeomType())
 			}
 			send = lateSend
@@ -500,18 +535,37 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 		c.Compute((costmodel.SerializePerByte*float64(sentBytes) + serGeomCost) * ex.scale)
 		ex.stats.BytesSent += sentBytes
 
-		// Round 1: exchange buffer sizes (MPI_Alltoall), so every rank can
-		// build the receive-side count and displacement arrays.
+		// Round 1: publish buffer sizes (MPI_Allgather of each rank's count
+		// row), so every rank can build the receive-side count and
+		// displacement arrays. Pairwise counts (MPI_Alltoall) would suffice
+		// for sizing the payload round; gathering the full matrix instead
+		// lets every rank accumulate every rank's incoming load, so the
+		// exchange-wide balance factors settle locally after the last phase
+		// — with no trailing collective a strict-mode decode failure on one
+		// rank could strand the others in.
+		geomsTo := lateGeoms
+		if !ex.lateSer {
+			geomsTo = ex.sendGeoms[ph] // nil when this rank staged nothing
+		}
 		for dst, b := range send {
-			binary.LittleEndian.PutUint64(counts[dst*8:], uint64(len(b)))
+			binary.LittleEndian.PutUint64(countRow[dst*16:], uint64(len(b)))
+			var ng int64
+			if geomsTo != nil {
+				ng = geomsTo[dst]
+			}
+			binary.LittleEndian.PutUint64(countRow[dst*16+8:], uint64(ng))
 		}
 		//vet:allow collective — a rank whose frames fail to encode or decode in strict mode has nothing further to exchange; the documented contract is world-abort teardown, releasing the peers with ErrAborted (TestChaosFrameCorruption pins it)
-		gotCounts, err := c.AlltoallFixed(counts, 8)
+		countRows, err := c.Allgather(countRow)
 		if err != nil {
 			return ex.stats, fmt.Errorf("core: count exchange: %w", err)
 		}
 		for src := 0; src < ex.size; src++ {
-			recvSizes[src] = int(binary.LittleEndian.Uint64(gotCounts[src*8:]))
+			recvSizes[src] = int(binary.LittleEndian.Uint64(countRows[src][rank*16:]))
+			for dst := 0; dst < ex.size; dst++ {
+				loadBytes[dst] += int64(binary.LittleEndian.Uint64(countRows[src][dst*16:]))
+				loadGeoms[dst] += int64(binary.LittleEndian.Uint64(countRows[src][dst*16+8:]))
+			}
 		}
 
 		// Round 2: exchange the coordinate payload (MPI_Alltoallv).
@@ -527,6 +581,7 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 		// recycles lateSend instead).
 		if !ex.lateSer {
 			ex.send[ph] = nil
+			ex.sendGeoms[ph] = nil
 		}
 
 		// Deserialize into this phase's owned cells.
@@ -535,6 +590,7 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 			if ex.frameFault != nil {
 				ex.frameFault(ph, src, part)
 			}
+			ex.stats.BytesRecv += int64(len(part))
 			c.Compute(costmodel.DeserializePerByte * float64(len(part)) * ex.scale)
 			var deserGeomCost float64
 			for len(part) > 0 {
@@ -572,8 +628,36 @@ func (ex *Exchanger) FinishStream(sink func(cells map[int][]geom.Geometry) error
 			}
 		}
 	}
+	// Settle the exchange-wide load-balance factors from the accumulated
+	// count matrix. Every rank summed the same allgathered rows, so the
+	// factors come out identical everywhere with pure local arithmetic —
+	// deliberately not a reduction, because nothing collective may follow
+	// the last payload round (a strict-mode decode failure returns early on
+	// just the failing rank, and its peers must still complete cleanly).
+	var sumB, maxB, sumG, maxG int64
+	for i := 0; i < ex.size; i++ {
+		sumB += loadBytes[i]
+		maxB = max(maxB, loadBytes[i])
+		sumG += loadGeoms[i]
+		maxG = max(maxG, loadGeoms[i])
+	}
+	ex.stats.GeomImbalance = imbalance(float64(maxG), float64(sumG), ex.size)
+	ex.stats.ByteImbalance = imbalance(float64(maxB), float64(sumB), ex.size)
 	ex.placements = nil
 	return ex.stats, sinkErr
+}
+
+// imbalance is the load-balance factor: the heaviest rank's load over the
+// mean load across the world. Zero when nothing was exchanged.
+func imbalance(max, sum float64, size int) float64 {
+	if sum <= 0 {
+		return 0
+	}
+	return max / (sum / float64(size))
+}
+
+func f64field(buf []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 }
 
 // ReadExchange is the one-pass streaming pipeline: a parallel file read

@@ -138,3 +138,19 @@ const (
 // GridProjectPerCell is the cost of mapping one geometry to one overlapping
 // grid cell (R-tree query against cell boundaries plus list append).
 const GridProjectPerCell = 90e-9
+
+// partitionLoadIndexSize is the nominal per-cell index population the
+// adaptive partitioner assumes when pricing the index-insert share of a
+// cell's load (the log factor varies too slowly to matter for balancing).
+const partitionLoadIndexSize = 1024
+
+// PartitionLoadCost returns the modeled load one geometry of type t and
+// wire size nBytes adds to whichever partition cell it lands in: the
+// exchange serialization and deserialization it costs to move there plus
+// the index insert it costs once it arrives. This is the quantity the
+// skew-aware partitioner samples, histograms, and balances across ranks.
+func PartitionLoadCost(t geom.Type, nBytes int) float64 {
+	return SerializeGeomCost(t) + DeserializeGeomCost(t) +
+		(SerializePerByte+DeserializePerByte)*float64(nBytes) +
+		IndexInsert(partitionLoadIndexSize)
+}

@@ -72,6 +72,11 @@ type Spec struct {
 	Clusters int
 	// ClusterSigma is the cluster spread in degrees.
 	ClusterSigma float64
+	// ZipfSkew is the exponent of the Zipf law weighting the clusters —
+	// the hot-cell skew knob. Larger exponents pile more of the dataset
+	// onto the first few clusters; zero means the default 0.8 the
+	// Table 3 presets were calibrated with, so their output is unchanged.
+	ZipfSkew float64
 	// Seed fixes the generator.
 	Seed int64
 	// DefaultScale is the scale factor the benchmark harness uses so the
@@ -155,6 +160,21 @@ func AllDatasets() []Spec {
 	return []Spec{Cemetery(), Lakes(), Roads(), AllObjects(), RoadNetwork(), AllNodes()}
 }
 
+// Hotspot is the extreme-skew stress preset (not part of Table 3): a
+// point layer whose cluster weights follow a steep Zipf law, so a couple
+// of tight hotspots hold most of the records. It is the worst case for
+// uniform grid placement — the dataset the skew-aware adaptive partition
+// is benchmarked against.
+func Hotspot() Spec {
+	return Spec{
+		Name: "hotspot", Shape: geom.TypePoint,
+		FullBytes: 4e9, FullCount: 112e6,
+		MaxRecordBytes: 64, HugeProb: 0,
+		Clusters: 48, ClusterSigma: 0.6, Seed: 107, ZipfSkew: 3.0,
+		DefaultScale: 4096,
+	}
+}
+
 // Stats reports what a generation run produced (real, scaled quantities).
 type Stats struct {
 	Records        int64
@@ -199,6 +219,10 @@ func GenerateEncoded(spec Spec, scale float64, enc Encoding, out io.Writer) (Sta
 	// way real OSM extracts do — lakes, roads and cemeteries all concentrate
 	// where people live, which is what gives spatial joins their hits.
 	rWorld := rand.New(rand.NewSource(worldSeed))
+	skew := spec.ZipfSkew
+	if skew <= 0 {
+		skew = 0.8
+	}
 	centers := make([]geom.Point, spec.Clusters)
 	weights := make([]float64, spec.Clusters)
 	var wsum float64
@@ -207,7 +231,7 @@ func GenerateEncoded(spec Spec, scale float64, enc Encoding, out io.Writer) (Sta
 			X: world.MinX + rWorld.Float64()*world.Width(),
 			Y: world.MinY + rWorld.Float64()*world.Height(),
 		}
-		weights[i] = 1 / math.Pow(float64(i+1), 0.8)
+		weights[i] = 1 / math.Pow(float64(i+1), skew)
 		wsum += weights[i]
 	}
 	pick := func() geom.Point {

@@ -285,6 +285,88 @@ func abs(v float64) float64 {
 	return v
 }
 
+// TestZipfSkewKnob: the ZipfSkew knob must sharpen the cluster-weight
+// distribution — the Hotspot preset concentrates a larger share of its
+// records in the densest coarse-grid cell than the same spec at the
+// default exponent — while staying deterministic under the existing seed
+// scheme, and a zero knob must reproduce the default-weight stream
+// byte-for-byte (so the Table 3 presets are untouched).
+func TestZipfSkewKnob(t *testing.T) {
+	densestShare := func(spec Spec, scale float64) float64 {
+		var buf bytes.Buffer
+		if _, err := Generate(spec, scale, &buf); err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[int]int)
+		total := 0
+		sc := bufio.NewScanner(&buf)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			g, err := wkt.Parse(sc.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := g.Envelope().Center()
+			cell := int((c.X+180)/36) + 10*int((c.Y+90)/18)
+			counts[cell]++
+			total++
+		}
+		if total < 500 {
+			t.Fatalf("too few records (%d) for a share estimate", total)
+		}
+		maxCell := 0
+		for _, n := range counts {
+			if n > maxCell {
+				maxCell = n
+			}
+		}
+		return float64(maxCell) / float64(total)
+	}
+
+	hot := Hotspot()
+	if hot.ZipfSkew <= 1 {
+		t.Fatalf("Hotspot.ZipfSkew = %v; the stress preset must be steeper than Zipf(1)", hot.ZipfSkew)
+	}
+	flat := hot
+	flat.ZipfSkew = 0 // falls back to the default 0.8 exponent
+	hotShare := densestShare(hot, hot.DefaultScale)
+	flatShare := densestShare(flat, hot.DefaultScale)
+	if hotShare <= flatShare {
+		t.Errorf("densest-cell share %.3f at skew %v is not above %.3f at the default", hotShare, hot.ZipfSkew, flatShare)
+	}
+	if hotShare < 0.5 {
+		t.Errorf("densest-cell share %.3f; the extreme preset should pile a majority into one region", hotShare)
+	}
+
+	// Deterministic: two runs of the preset are byte-identical.
+	var a, b bytes.Buffer
+	if _, err := Generate(hot, 1e4, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(hot, 1e4, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Hotspot generation is not deterministic for a fixed seed")
+	}
+
+	// A zero knob is exactly the pre-knob generator: setting 0.8 explicitly
+	// changes nothing.
+	legacy := Lakes()
+	explicit := legacy
+	explicit.ZipfSkew = 0.8
+	var l0, l1 bytes.Buffer
+	if _, err := Generate(legacy, 1e4, &l0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(explicit, 1e4, &l1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(l0.Bytes(), l1.Bytes()) {
+		t.Error("ZipfSkew=0 does not reproduce the default 0.8 stream")
+	}
+}
+
 // TestGenerateFileEncodedTagsScale mirrors GenerateFile's contract for the
 // binary variant.
 func TestGenerateFileEncodedTagsScale(t *testing.T) {

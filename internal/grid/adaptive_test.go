@@ -1,0 +1,331 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var adWorld = geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+
+// skewedHistogram concentrates most of the sampled load in the SW corner
+// with a light uniform background — the shape of a clustered city dataset.
+func skewedHistogram(t *testing.T, side int) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(adWorld, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4000; i++ {
+		x := -180 + rng.Float64()*20
+		y := -90 + rng.Float64()*20
+		h.Add(geom.Envelope{MinX: x, MinY: y, MaxX: x, MaxY: y}, 1)
+	}
+	for i := 0; i < 400; i++ {
+		x := -180 + rng.Float64()*360
+		y := -90 + rng.Float64()*180
+		h.Add(geom.Envelope{MinX: x, MinY: y, MaxX: x, MaxY: y}, 1)
+	}
+	return h
+}
+
+func TestHistogramAddClamps(t *testing.T) {
+	h, err := NewHistogram(adWorld, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far outside the world on every side: all weight must land in border
+	// bins, none lost.
+	h.Add(geom.Envelope{MinX: -999, MinY: -999, MaxX: -998, MaxY: -998}, 1)
+	h.Add(geom.Envelope{MinX: 998, MinY: 998, MaxX: 999, MaxY: 999}, 2)
+	w := h.Weights()
+	if w[0] != 1 {
+		t.Errorf("SW clamp: bin 0 weight = %v, want 1", w[0])
+	}
+	if w[len(w)-1] != 2 {
+		t.Errorf("NE clamp: last bin weight = %v, want 2", w[len(w)-1])
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum != 3 {
+		t.Errorf("total weight = %v, want 3", sum)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(geom.EmptyEnvelope(), 4); err == nil {
+		t.Error("empty envelope accepted")
+	}
+	for _, side := range []int{0, -1, 3, 12} {
+		if _, err := NewHistogram(adWorld, side); err == nil {
+			t.Errorf("side %d accepted, want power-of-two rejection", side)
+		}
+	}
+}
+
+func TestBuildAdaptiveDeterministic(t *testing.T) {
+	opt := AdaptiveOptions{Ranks: 4}
+	a1, err := BuildAdaptive(skewedHistogram(t, 64), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := BuildAdaptive(skewedHistogram(t, 64), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.NumCells() != a2.NumCells() {
+		t.Fatalf("cell counts differ: %d vs %d", a1.NumCells(), a2.NumCells())
+	}
+	for id := 0; id < a1.NumCells(); id++ {
+		if a1.CellEnv(id) != a2.CellEnv(id) {
+			t.Fatalf("cell %d envelope differs", id)
+		}
+		if a1.RankFor(id, 4) != a2.RankFor(id, 4) {
+			t.Fatalf("cell %d placement differs", id)
+		}
+	}
+}
+
+func TestAdaptiveSplitsHotRegion(t *testing.T) {
+	a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := geom.Envelope{MinX: -180, MinY: -90, MaxX: -160, MaxY: -70}
+	hotCells := len(a.CellsFor(hot))
+	cold := geom.Envelope{MinX: 140, MinY: 50, MaxX: 160, MaxY: 70}
+	coldCells := len(a.CellsFor(cold))
+	if hotCells <= coldCells {
+		t.Errorf("hot region resolved into %d cells, cold same-size region %d: expected finer decomposition where the load is",
+			hotCells, coldCells)
+	}
+}
+
+func TestAdaptivePackingBalancesLoad(t *testing.T) {
+	const ranks = 4
+	h := skewedHistogram(t, 64)
+	a, err := BuildAdaptive(h, AdaptiveOptions{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-aggregate the histogram load per rank under the packed placement;
+	// the greedy curve packing should land near the fair share.
+	sums := newBinSums(h)
+	perRank := make([]float64, ranks)
+	var total float64
+	for id := 0; id < a.NumCells(); id++ {
+		w := sums.weightIn(a.CellEnv(id))
+		perRank[a.RankFor(id, ranks)] += w
+		total += w
+	}
+	mean := total / ranks
+	for r, w := range perRank {
+		if w > 1.8*mean {
+			t.Errorf("rank %d packed load %.0f exceeds 1.8x the fair share %.0f", r, w, mean)
+		}
+	}
+}
+
+func TestAdaptiveEveryRankOwnsCells(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 8} {
+		a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: ranks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := make([]int, ranks)
+		for id := 0; id < a.NumCells(); id++ {
+			r := a.RankFor(id, ranks)
+			if r < 0 || r >= ranks {
+				t.Fatalf("ranks=%d: cell %d mapped to rank %d", ranks, id, r)
+			}
+			owned[r]++
+		}
+		for r, n := range owned {
+			if n == 0 {
+				t.Errorf("ranks=%d: rank %d owns no cells", ranks, r)
+			}
+		}
+	}
+}
+
+func TestAdaptiveRankForFallback(t *testing.T) {
+	a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different world size than the packing was built for falls back to
+	// round-robin, still deterministic and in range.
+	for id := 0; id < a.NumCells(); id++ {
+		if got, want := a.RankFor(id, 7), RoundRobin(id, 7); got != want {
+			t.Fatalf("size mismatch fallback: cell %d -> %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestAdaptiveRefCellConsistent(t *testing.T) {
+	a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		// Random envelopes, some degenerate, some hanging past the world.
+		x := -200 + rng.Float64()*400
+		y := -110 + rng.Float64()*220
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + rng.Float64()*40, MaxY: y + rng.Float64()*40}
+		cells := a.CellsFor(e)
+		if len(cells) == 0 {
+			t.Fatalf("CellsFor(%v) returned no cells", e)
+		}
+		ref := a.RefCell(e)
+		found := false
+		for _, id := range cells {
+			if id == ref {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("RefCell(%v) = %d not in CellsFor = %v", e, ref, cells)
+		}
+		for j := 1; j < len(cells); j++ {
+			if cells[j-1] >= cells[j] {
+				t.Fatalf("CellsFor(%v) not strictly ascending: %v", e, cells)
+			}
+		}
+	}
+}
+
+func TestAdaptiveCellsTileWorld(t *testing.T) {
+	a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point of the world resolves to exactly one cell containing it
+	// under the half-open rule, and the whole-world query returns every
+	// cell exactly once.
+	all := a.CellsFor(a.Env())
+	if len(all) != a.NumCells() {
+		t.Fatalf("world query returned %d cells, partition has %d", len(all), a.NumCells())
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		x := -180 + rng.Float64()*360
+		y := -90 + rng.Float64()*180
+		id := a.cellAt(x, y)
+		ce := a.CellEnv(id)
+		inX := (x >= ce.MinX && x < ce.MaxX) || (x == ce.MaxX && ce.MaxX == a.Env().MaxX)
+		inY := (y >= ce.MinY && y < ce.MaxY) || (y == ce.MaxY && ce.MaxY == a.Env().MaxY)
+		if !inX || !inY {
+			t.Fatalf("point (%v,%v) resolved to cell %d with envelope %v", x, y, id, ce)
+		}
+	}
+}
+
+func TestAdaptiveCellIndexAgrees(t *testing.T) {
+	a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := NewCellIndex(a)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		x := -180 + rng.Float64()*360
+		y := -90 + rng.Float64()*180
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + rng.Float64()*30, MaxY: y + rng.Float64()*30}
+		arith := a.CellsFor(e)
+		tree := append([]int(nil), ci.CellsFor(e)...)
+		sortInts(tree)
+		// The R-tree uses closed-rectangle intersection, so it can return a
+		// superset at exact cell boundaries; every arithmetic cell must be
+		// in the tree's answer.
+		j := 0
+		for _, id := range arith {
+			for j < len(tree) && tree[j] < id {
+				j++
+			}
+			if j >= len(tree) || tree[j] != id {
+				t.Fatalf("cell %d in CellsFor(%v) but not in the R-tree answer %v", id, e, tree)
+			}
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestMappingOf(t *testing.T) {
+	g, err := New(adWorld, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := MappingOf(g); m(5, 4) != RoundRobin(5, 4) {
+		t.Error("uniform grid mapping is not round-robin")
+	}
+	a, err := BuildAdaptive(skewedHistogram(t, 64), AdaptiveOptions{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MappingOf(a)
+	for id := 0; id < a.NumCells(); id++ {
+		if m(id, 4) != a.RankFor(id, 4) {
+			t.Fatal("adaptive mapping does not delegate to RankFor")
+		}
+	}
+}
+
+func TestAdaptiveUniformSampleMatchesGrid(t *testing.T) {
+	// A flat histogram with MaxDepth 2 decomposes into the regular 4x4
+	// quadtree grid: same cell rectangles as the uniform Grid, different
+	// (Hilbert) ids.
+	h, err := NewHistogram(adWorld, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 64; x++ {
+		for y := 0; y < 64; y++ {
+			cx := -180 + (float64(x)+0.5)*360/64
+			cy := -90 + (float64(y)+0.5)*180/64
+			h.Add(geom.Envelope{MinX: cx, MinY: cy, MaxX: cx, MaxY: cy}, 1)
+		}
+	}
+	a, err := BuildAdaptive(h, AdaptiveOptions{Ranks: 4, TargetCellsPerRank: 4, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCells() != 16 {
+		t.Fatalf("flat sample at MaxDepth 2 built %d cells, want 16", a.NumCells())
+	}
+	g, err := New(adWorld, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the replication sets as envelope sets over random envelopes.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		x := -180 + rng.Float64()*360
+		y := -90 + rng.Float64()*180
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + rng.Float64()*100, MaxY: y + rng.Float64()*60}
+		want := make(map[geom.Envelope]bool)
+		for _, id := range g.CellsFor(e) {
+			want[g.CellEnv(id)] = true
+		}
+		got := make(map[geom.Envelope]bool)
+		for _, id := range a.CellsFor(e) {
+			got[a.CellEnv(id)] = true
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("replication sets differ for %v:\n uniform %v\n adaptive %v", e, want, got)
+		}
+	}
+}

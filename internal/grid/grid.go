@@ -150,11 +150,13 @@ type CellIndex struct {
 	tree *rtree.Tree[int]
 }
 
-// NewCellIndex bulk-loads the R-tree of all cell boundaries.
-func NewCellIndex(g *Grid) *CellIndex {
-	items := make([]rtree.Item[int], g.NumCells())
-	for id := 0; id < g.NumCells(); id++ {
-		items[id] = rtree.Item[int]{Env: g.CellEnv(id), Value: id}
+// NewCellIndex bulk-loads the R-tree of all cell boundaries of any
+// partition — uniform or adaptive, the index only needs the cell count and
+// each cell's rectangle.
+func NewCellIndex(p Partition) *CellIndex {
+	items := make([]rtree.Item[int], p.NumCells())
+	for id := 0; id < p.NumCells(); id++ {
+		items[id] = rtree.Item[int]{Env: p.CellEnv(id), Value: id}
 	}
 	return &CellIndex{tree: rtree.BulkLoad(items)}
 }

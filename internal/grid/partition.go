@@ -1,0 +1,45 @@
+package grid
+
+import "repro/internal/geom"
+
+// Partition is the surface every cellular decomposition of a world envelope
+// presents to the pipeline: the uniform Grid of §4.2 and the skew-aware
+// Adaptive partition both satisfy it, so the partitioner, the streaming
+// exchanger, and the spatial workloads are agnostic to which one drives
+// them.
+type Partition interface {
+	// Env returns the world envelope the cells tile.
+	Env() geom.Envelope
+	// NumCells returns the cell count; ids are 0..NumCells()-1.
+	NumCells() int
+	// CellEnv returns the envelope of cell id. Cells tile the world with
+	// no floating-point slack: border cells extend exactly to the world
+	// envelope's edges.
+	CellEnv(id int) geom.Envelope
+	// CellsFor returns, in ascending id order, every cell a geometry with
+	// MBR e replicates into. Empty envelopes map to no cells; envelopes
+	// outside the world clamp to the border cells.
+	CellsFor(e geom.Envelope) []int
+	// RefCell returns the cell containing e's reference point (the
+	// lower-left corner) — the duplicate-avoidance cell of §4.
+	RefCell(e geom.Envelope) int
+}
+
+// Mapper is implemented by partitions that carry their own cell-to-rank
+// placement (the Adaptive partition's Hilbert bin-packing). Partitions
+// without one decluster round-robin.
+type Mapper interface {
+	// RankFor returns the owning rank of cell in a world of size ranks.
+	// It must be a pure function of its arguments and the partition's
+	// (rank-uniform) construction inputs.
+	RankFor(cell, size int) int
+}
+
+// MappingOf returns p's own placement when it carries one, and the default
+// round-robin declustering otherwise.
+func MappingOf(p Partition) func(cell, size int) int {
+	if m, ok := p.(Mapper); ok {
+		return m.RankFor
+	}
+	return RoundRobin
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/grid"
 	"repro/internal/pfs"
 	"repro/internal/wkb"
 	"repro/internal/wkt"
@@ -146,6 +147,61 @@ func TestPipelineEquivalenceSinglePhase(t *testing.T) {
 			Ranks:       2,
 		}
 		AssertAllEquivalent(t, fmt.Sprintf("window=%d", window), RunAll(t, cfg))
+	}
+}
+
+// genSkewedGeoms draws a layer with most of its mass in the hot corner
+// [0,15)^2 — the shape the skew-aware partition exists for.
+func genSkewedGeoms(n int, seed int64) []geom.Geometry {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]geom.Geometry, n)
+	for i := range out {
+		var x, y float64
+		if r.Intn(10) < 8 {
+			x, y = r.Float64()*14, r.Float64()*14
+		} else {
+			x, y = r.Float64()*90, r.Float64()*90
+		}
+		e := geom.Envelope{MinX: x, MinY: y, MaxX: x + r.Float64()*2, MaxY: y + r.Float64()*2}
+		out[i] = e.ToPolygon()
+	}
+	return out
+}
+
+// TestPipelineEquivalenceAdaptivePartition runs the matrix column for the
+// skew-aware partition: every mode — materialized, streamed, and streamed
+// with backpressure — over the same grid.Adaptive (built from a histogram
+// of the skewed layer, exactly as core.SamplePartition builds one) must
+// reproduce the materialized run bitwise, including the cell-to-rank
+// placement the partition carries in place of round-robin.
+func TestPipelineEquivalenceAdaptivePartition(t *testing.T) {
+	geoms := genSkewedGeoms(400, 67)
+	pf := wktFixture(t, geoms)
+	world := geom.Envelope{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	const ranks = 3
+	hist, err := grid.NewHistogram(world, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range geoms {
+		hist.Add(g.Envelope(), 1)
+	}
+	part, err := grid.BuildAdaptive(hist, grid.AdaptiveOptions{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{0, 5} {
+		cfg := Config{
+			File:        pf,
+			Parser:      func() core.Parser { return core.NewWKTParser() },
+			ReadOpt:     core.ReadOptions{BlockSize: 1 << 10, StreamBatch: 19},
+			Envelope:    world,
+			WindowCells: window,
+			Queries:     genQueries(8, 68),
+			Ranks:       ranks,
+			Partition:   part,
+		}
+		AssertAllEquivalent(t, fmt.Sprintf("adaptive window=%d", window), RunAll(t, cfg))
 	}
 }
 

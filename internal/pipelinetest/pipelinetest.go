@@ -83,6 +83,12 @@ type Config struct {
 	Queries     []geom.Envelope
 	Ranks       int
 
+	// Partition, when non-nil, runs every mode over this partition (a
+	// skew-aware grid.Adaptive, typically) instead of the uniform grid the
+	// modes would build from Envelope and GridCells — the adaptive column
+	// of the equivalence matrix.
+	Partition grid.Partition
+
 	// World tunes the MPI world a run executes under — most usefully
 	// Options.Fault (a deterministic injector, see internal/fault) and
 	// Options.Timeout (a short deadlock watchdog for chaos runs). The zero
@@ -169,8 +175,8 @@ func RunE(cfg Config, mode Mode) (*Result, []error, error) {
 		readOpt.SinkOverlap = true
 	}
 	env := cfg.Envelope
-	iopt := spatial.IndexOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env}
-	jopt := spatial.JoinOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env}
+	iopt := spatial.IndexOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env, Partition: cfg.Partition}
+	jopt := spatial.JoinOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env, Partition: cfg.Partition}
 
 	errs := make([]error, cfg.Ranks)
 	var mu sync.Mutex
@@ -190,7 +196,7 @@ func RunE(cfg Config, mode Mode) (*Result, []error, error) {
 		var local []string
 		batches := -1
 		var trees map[int]*rtree.Tree[geom.Geometry]
-		var g *grid.Grid
+		var g grid.Partition
 		var buildBD spatial.Breakdown
 		var rstats core.ReadStats
 		if mode == Materialized {
@@ -300,12 +306,13 @@ func RunE(cfg Config, mode Mode) (*Result, []error, error) {
 // applies — the harness's independent record of which geometry matched
 // which query, so "query results identical" covers identities, not just
 // counts.
-func evalQueries(rank, size int, g *grid.Grid, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope) []string {
+func evalQueries(rank, size int, g grid.Partition, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope) []string {
 	var hits []string
+	rankFor := grid.MappingOf(g)
 	for qi, q := range queries {
 		qPoly := q.ToPolygon()
 		for _, cell := range g.CellsFor(q) {
-			if grid.RoundRobin(cell, size) != rank {
+			if rankFor(cell, size) != rank {
 				continue
 			}
 			tr := trees[cell]

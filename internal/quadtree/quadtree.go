@@ -64,14 +64,7 @@ func (n *qnode[T]) insert(it qitem[T]) {
 // subdivide splits the node and pushes down every item that fits entirely
 // within one child quadrant.
 func (n *qnode[T]) subdivide() {
-	c := n.bounds.Center()
-	b := n.bounds
-	quads := [4]geom.Envelope{
-		{MinX: b.MinX, MinY: b.MinY, MaxX: c.X, MaxY: c.Y}, // SW
-		{MinX: c.X, MinY: b.MinY, MaxX: b.MaxX, MaxY: c.Y}, // SE
-		{MinX: b.MinX, MinY: c.Y, MaxX: c.X, MaxY: b.MaxY}, // NW
-		{MinX: c.X, MinY: c.Y, MaxX: b.MaxX, MaxY: b.MaxY}, // NE
-	}
+	quads := quadrants(n.bounds)
 	n.children = &[4]*qnode[T]{}
 	for i := range quads {
 		n.children[i] = &qnode[T]{bounds: quads[i], depth: n.depth + 1}

@@ -1,0 +1,86 @@
+package quadtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var splitWorld = geom.Envelope{MinX: 0, MinY: 0, MaxX: 64, MaxY: 64}
+
+func TestSplitWeightedMinDepth(t *testing.T) {
+	// Zero weight everywhere: only minDepth forces subdivision.
+	for _, min := range []int{0, 1, 2, 3} {
+		root := SplitWeighted(splitWorld, func(geom.Envelope) float64 { return 0 }, 1, min, 8)
+		want := 1 << (2 * min)
+		if got := len(root.Leaves()); got != want {
+			t.Errorf("minDepth %d: %d leaves, want %d", min, got, want)
+		}
+	}
+}
+
+func TestSplitWeightedHotQuadrant(t *testing.T) {
+	// All weight concentrated below (8,8): only the chain of SW quadrants
+	// splits past minDepth.
+	weigh := func(e geom.Envelope) float64 {
+		if e.MinX < 8 && e.MinY < 8 {
+			return 100
+		}
+		return 0
+	}
+	root := SplitWeighted(splitWorld, weigh, 1, 1, 3)
+	leaves := root.Leaves()
+	// Depth 1 gives 4 quadrants; the SW one splits at depths 2 and 3, each
+	// split adding 3 leaves: 4 + 3 + 3 = 10.
+	if len(leaves) != 10 {
+		t.Fatalf("%d leaves, want 10", len(leaves))
+	}
+	var deepest *SplitNode
+	for _, l := range leaves {
+		if deepest == nil || l.Depth > deepest.Depth {
+			deepest = l
+		}
+	}
+	if deepest.Depth != 3 {
+		t.Errorf("deepest leaf at depth %d, want 3", deepest.Depth)
+	}
+	if deepest.Bounds.MinX != 0 || deepest.Bounds.MinY != 0 {
+		t.Errorf("deepest leaf %v is not the SW corner", deepest.Bounds)
+	}
+}
+
+func TestSplitWeightedLeavesTile(t *testing.T) {
+	weigh := func(e geom.Envelope) float64 { return e.Width() * e.Height() }
+	root := SplitWeighted(splitWorld, weigh, 128, 0, 6)
+	var area float64
+	for _, l := range root.Leaves() {
+		area += l.Bounds.Width() * l.Bounds.Height()
+		if l.Children != nil {
+			t.Fatal("leaf with children")
+		}
+	}
+	if want := splitWorld.Width() * splitWorld.Height(); area != want {
+		t.Errorf("leaf areas sum to %v, want %v", area, want)
+	}
+}
+
+func TestSplitWeightedDepthClamp(t *testing.T) {
+	// maxSplit beyond the tree's own bound is clamped, not overrun. Weight
+	// only on the SW corner keeps the explosion to a single quadrant chain.
+	weigh := func(e geom.Envelope) float64 {
+		if e.MinX == 0 && e.MinY == 0 {
+			return 1
+		}
+		return 0
+	}
+	root := SplitWeighted(splitWorld, weigh, 0, 0, 99)
+	max := 0
+	for _, l := range root.Leaves() {
+		if l.Depth > max {
+			max = l.Depth
+		}
+	}
+	if max != maxDepth {
+		t.Errorf("deepest leaf at depth %d, want the package bound %d", max, maxDepth)
+	}
+}

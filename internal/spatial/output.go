@@ -21,7 +21,7 @@ import (
 // each rank writes all its (non-adjacent) cell regions through one
 // non-contiguous collective write. Returns the total file size. All ranks
 // must call it collectively.
-func WriteCells(c *mpi.Comm, f *mpiio.File, g *grid.Grid, owned map[int][]geom.Geometry) (int64, error) {
+func WriteCells(c *mpi.Comm, f *mpiio.File, g grid.Partition, owned map[int][]geom.Geometry) (int64, error) {
 	numCells := g.NumCells()
 
 	// Serialize owned cells and record their sizes.

@@ -34,6 +34,14 @@ type Breakdown struct {
 	Refine    float64 // filter queries + exact intersection tests
 	Total     float64 // elapsed virtual time (max across ranks)
 
+	// GeomImbalance and ByteImbalance are the exchange load-balance
+	// factors (max-rank load over mean-rank load, 1.0 = perfectly even)
+	// from core.ExchangeStats — the quantity the skew-aware partitioner
+	// exists to shrink. Already rank-identical (the Exchanger reduces them
+	// at Finish); a workload with several exchanges reports the worst.
+	GeomImbalance float64
+	ByteImbalance float64
+
 	Pairs       int64 // join result pairs (summed across ranks)
 	Indexed     int64 // geometries inserted into cell indexes (summed)
 	Quarantined int64 // exchange frames dropped under SkipBadFrames (summed)
@@ -42,7 +50,8 @@ type Breakdown struct {
 // Aggregate reduces a per-rank breakdown to the paper's reporting
 // convention: per-phase maxima and summed counters, identical on all ranks.
 func (b Breakdown) Aggregate(c *mpi.Comm) (Breakdown, error) {
-	times := []float64{b.Read, b.Partition, b.Comm, b.Index, b.Refine, b.Total}
+	times := []float64{b.Read, b.Partition, b.Comm, b.Index, b.Refine, b.Total,
+		b.GeomImbalance, b.ByteImbalance}
 	buf := make([]byte, 8*len(times))
 	for i, v := range times {
 		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
@@ -65,6 +74,7 @@ func (b Breakdown) Aggregate(c *mpi.Comm) (Breakdown, error) {
 	return Breakdown{
 		Read: get(0), Partition: get(1), Comm: get(2),
 		Index: get(3), Refine: get(4), Total: get(5),
+		GeomImbalance: get(6), ByteImbalance: get(7),
 		Pairs:       int64(binary.LittleEndian.Uint64(summed[0:])),
 		Indexed:     int64(binary.LittleEndian.Uint64(summed[8:])),
 		Quarantined: int64(binary.LittleEndian.Uint64(summed[16:])),
@@ -95,6 +105,13 @@ type JoinOptions struct {
 	// cells), but a misleadingly small envelope skews the grid, so supply
 	// the real bounds or nil.
 	Envelope *geom.Envelope
+	// Partition, when non-nil, replaces the uniform grid entirely — cell
+	// layout AND cell-to-rank placement come from it (a skew-aware
+	// grid.Adaptive from core.SamplePartition, typically). It overrides
+	// GridCells and Envelope, skips the MPI_UNION reduction, and — like a
+	// supplied Envelope — enables the one-pass streamed pipeline. Must be
+	// identical on every rank.
+	Partition grid.Partition
 	// SkipBadFrames forwards core.Partitioner.SkipBadFrames: received
 	// exchange frames that fail to decode are quarantined and counted in
 	// Breakdown.Quarantined instead of failing the workload.
@@ -113,6 +130,19 @@ func (o JoinOptions) predicate() func(a, b geom.Geometry) bool {
 		return o.Predicate
 	}
 	return geom.Intersects
+}
+
+// uniformPartition builds the default partition — a near-square uniform
+// grid of about `cells` cells over the global envelope.
+//
+//vet:uniform — pure function of the rank-uniform envelope and cell count
+func uniformPartition(global geom.Envelope, cells int) (grid.Partition, error) {
+	cols, rows := squareDims(cells)
+	g, err := grid.New(global, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // squareDims factors n into cols x rows as near-square as possible,
@@ -138,22 +168,26 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 	var bd Breakdown
 	start := c.Now()
 
-	// Grid dimensions via the MPI_UNION spatial reduction (§4.2.2).
-	global, err := core.GlobalEnvelope(c, core.LocalEnvelope(localR).Union(core.LocalEnvelope(localS)))
-	if err != nil {
-		return bd, fmt.Errorf("spatial: global envelope: %w", err)
-	}
-	if global.IsEmpty() {
-		bd.Total = c.Now() - start
-		return bd, nil
-	}
-	cols, rows := squareDims(opt.cells())
-	g, err := grid.New(global, cols, rows)
-	if err != nil {
-		return bd, fmt.Errorf("spatial: grid: %w", err)
+	// Partition: the caller-supplied one verbatim, or a uniform grid over
+	// the MPI_UNION envelope reduction (§4.2.2). The Partition option is
+	// rank-uniform configuration, so every rank takes the same branch and
+	// the reduction is skipped (or run) collectively.
+	p := opt.Partition
+	if p == nil {
+		global, err := core.GlobalEnvelope(c, core.LocalEnvelope(localR).Union(core.LocalEnvelope(localS)))
+		if err != nil {
+			return bd, fmt.Errorf("spatial: global envelope: %w", err)
+		}
+		if global.IsEmpty() {
+			bd.Total = c.Now() - start
+			return bd, nil
+		}
+		if p, err = uniformPartition(global, opt.cells()); err != nil {
+			return bd, fmt.Errorf("spatial: grid: %w", err)
+		}
 	}
 
-	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
+	pt := &core.Partitioner{Grid: p, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	cellsR, statsR, err := pt.Exchange(c, localR)
 	if err != nil {
 		return bd, fmt.Errorf("spatial: exchange R: %w", err)
@@ -165,8 +199,10 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 	bd.Partition = statsR.ProjectTime + statsS.ProjectTime
 	bd.Comm = statsR.CommTime + statsS.CommTime
 	bd.Quarantined = int64(statsR.FramesQuarantined + statsS.FramesQuarantined)
+	bd.GeomImbalance = math.Max(statsR.GeomImbalance, statsS.GeomImbalance)
+	bd.ByteImbalance = math.Max(statsR.ByteImbalance, statsS.ByteImbalance)
 
-	joinCells(c, g, cellsR, cellsS, opt, &bd)
+	joinCells(c, p, cellsR, cellsS, opt, &bd)
 	bd.Total = c.Now() - start
 	return bd, nil
 }
@@ -175,7 +211,7 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 // already-partitioned cells, accumulating timings and counters into bd. It
 // is the shared back half of Join (two-pass) and the streamed JoinFiles
 // (one-pass).
-func joinCells(c *mpi.Comm, g *grid.Grid, cellsR, cellsS map[int][]geom.Geometry, opt JoinOptions, bd *Breakdown) {
+func joinCells(c *mpi.Comm, g grid.Partition, cellsR, cellsS map[int][]geom.Geometry, opt JoinOptions, bd *Breakdown) {
 	scale := c.Config().Scale()
 	pred := opt.predicate()
 
@@ -310,7 +346,7 @@ func buildCellTrees(c *mpi.Comm, owned map[int][]geom.Geometry, scale float64, i
 // communication and parsing work from the fused pass (the phases overlap,
 // so they are attributed by work done, not by wall intervals).
 func JoinFiles(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt JoinOptions) (Breakdown, error) {
-	if opt.Envelope != nil {
+	if opt.Envelope != nil || opt.Partition != nil {
 		return joinFilesStreamed(c, fR, fS, parser, readOpt, opt)
 	}
 	t0 := c.Now()
@@ -332,18 +368,22 @@ func JoinFiles(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, readOpt core
 	return bd.Aggregate(c)
 }
 
-// joinFilesStreamed is the one-pass JoinFiles pipeline: grid from the
-// caller-supplied envelope, each input streamed straight into its exchange.
+// joinFilesStreamed is the one-pass JoinFiles pipeline: the partition —
+// the caller-supplied one, or a uniform grid over the caller-supplied
+// envelope — is fixed up front, and each input streams straight into its
+// exchange.
 func joinFilesStreamed(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt JoinOptions) (Breakdown, error) {
 	var bd Breakdown
 	start := c.Now()
-	if opt.Envelope.IsEmpty() {
-		return bd, fmt.Errorf("spatial: streamed join requires a non-empty envelope")
-	}
-	cols, rows := squareDims(opt.cells())
-	g, err := grid.New(*opt.Envelope, cols, rows)
-	if err != nil {
-		return bd, fmt.Errorf("spatial: grid: %w", err)
+	g := opt.Partition
+	if g == nil {
+		if opt.Envelope.IsEmpty() {
+			return bd, fmt.Errorf("spatial: streamed join requires a non-empty envelope")
+		}
+		var err error
+		if g, err = uniformPartition(*opt.Envelope, opt.cells()); err != nil {
+			return bd, fmt.Errorf("spatial: grid: %w", err)
+		}
 	}
 	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	cellsR, rstatsR, estatsR, err := core.ReadExchange(c, fR, parser, readOpt, pt)
@@ -359,6 +399,8 @@ func joinFilesStreamed(c *mpi.Comm, fR, fS *mpiio.File, parser core.Parser, read
 	bd.Partition = estatsR.ProjectTime + estatsS.ProjectTime
 	bd.Comm = estatsR.CommTime + estatsS.CommTime
 	bd.Quarantined = int64(estatsR.FramesQuarantined + estatsS.FramesQuarantined)
+	bd.GeomImbalance = math.Max(estatsR.GeomImbalance, estatsS.GeomImbalance)
+	bd.ByteImbalance = math.Max(estatsR.ByteImbalance, estatsS.ByteImbalance)
 
 	joinCells(c, g, cellsR, cellsS, opt, &bd)
 	bd.Total = c.Now() - start
@@ -379,6 +421,12 @@ type IndexOptions struct {
 	// clamp to the border cells — but a misleadingly small envelope skews
 	// the grid, so supply the real bounds or nil.
 	Envelope *geom.Envelope
+	// Partition, when non-nil, replaces the uniform grid entirely — cell
+	// layout AND cell-to-rank placement come from it (a skew-aware
+	// grid.Adaptive from core.SamplePartition, typically). It overrides
+	// GridCells and Envelope and, like a supplied Envelope, lets the
+	// *Files pipelines run one-pass. Must be identical on every rank.
+	Partition grid.Partition
 	// SkipBadFrames forwards core.Partitioner.SkipBadFrames: received
 	// exchange frames that fail to decode are quarantined and counted in
 	// Breakdown.Quarantined instead of failing the workload.
@@ -405,30 +453,32 @@ func (o IndexOptions) cells() int {
 // set, the MPI_UNION reduction is skipped and the grid fixed up front —
 // the configuration whose clock trajectory the one-pass BuildIndexFiles
 // reproduces exactly.
-func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*rtree.Tree[geom.Geometry], *grid.Grid, Breakdown, error) {
+func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*rtree.Tree[geom.Geometry], grid.Partition, Breakdown, error) {
 	var bd Breakdown
 	start := c.Now()
-	var global geom.Envelope
-	if opt.Envelope != nil {
-		if opt.Envelope.IsEmpty() {
-			return nil, nil, bd, fmt.Errorf("spatial: BuildIndex requires a non-empty envelope when one is supplied")
+	g := opt.Partition
+	if g == nil {
+		var global geom.Envelope
+		if opt.Envelope != nil {
+			if opt.Envelope.IsEmpty() {
+				return nil, nil, bd, fmt.Errorf("spatial: BuildIndex requires a non-empty envelope when one is supplied")
+			}
+			global = *opt.Envelope
+		} else {
+			var err error
+			global, err = core.GlobalEnvelope(c, core.LocalEnvelope(local))
+			if err != nil {
+				return nil, nil, bd, fmt.Errorf("spatial: global envelope: %w", err)
+			}
+			if global.IsEmpty() {
+				bd.Total = c.Now() - start
+				return map[int]*rtree.Tree[geom.Geometry]{}, nil, bd, nil
+			}
 		}
-		global = *opt.Envelope
-	} else {
 		var err error
-		global, err = core.GlobalEnvelope(c, core.LocalEnvelope(local))
-		if err != nil {
-			return nil, nil, bd, fmt.Errorf("spatial: global envelope: %w", err)
+		if g, err = uniformPartition(global, opt.cells()); err != nil {
+			return nil, nil, bd, fmt.Errorf("spatial: grid: %w", err)
 		}
-		if global.IsEmpty() {
-			bd.Total = c.Now() - start
-			return map[int]*rtree.Tree[geom.Geometry]{}, nil, bd, nil
-		}
-	}
-	cols, rows := squareDims(opt.cells())
-	g, err := grid.New(global, cols, rows)
-	if err != nil {
-		return nil, nil, bd, fmt.Errorf("spatial: grid: %w", err)
 	}
 	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	ci := newCellIndexer(c, c.Config().Scale())
@@ -441,6 +491,8 @@ func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*
 	bd.Index = ci.time
 	bd.Indexed = ci.indexed
 	bd.Quarantined = int64(stats.FramesQuarantined)
+	bd.GeomImbalance = stats.GeomImbalance
+	bd.ByteImbalance = stats.ByteImbalance
 	bd.Total = c.Now() - start
 	return ci.trees, g, bd, nil
 }
@@ -467,31 +519,33 @@ func virtualCount(n int, scale float64) int {
 func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope, opt JoinOptions) (Breakdown, error) {
 	var bd Breakdown
 	start := c.Now()
-	var global geom.Envelope
-	if opt.Envelope != nil {
-		if opt.Envelope.IsEmpty() {
-			return bd, fmt.Errorf("spatial: RangeQuery requires a non-empty envelope when one is supplied")
-		}
-		global = *opt.Envelope
-	} else {
-		queryEnv := geom.EmptyEnvelope()
-		for _, q := range queries {
-			queryEnv = queryEnv.Union(q)
+	g := opt.Partition
+	if g == nil {
+		var global geom.Envelope
+		if opt.Envelope != nil {
+			if opt.Envelope.IsEmpty() {
+				return bd, fmt.Errorf("spatial: RangeQuery requires a non-empty envelope when one is supplied")
+			}
+			global = *opt.Envelope
+		} else {
+			queryEnv := geom.EmptyEnvelope()
+			for _, q := range queries {
+				queryEnv = queryEnv.Union(q)
+			}
+			var err error
+			global, err = core.GlobalEnvelope(c, core.LocalEnvelope(localData).Union(queryEnv))
+			if err != nil {
+				return bd, fmt.Errorf("spatial: global envelope: %w", err)
+			}
+			if global.IsEmpty() {
+				bd.Total = c.Now() - start
+				return bd, nil
+			}
 		}
 		var err error
-		global, err = core.GlobalEnvelope(c, core.LocalEnvelope(localData).Union(queryEnv))
-		if err != nil {
-			return bd, fmt.Errorf("spatial: global envelope: %w", err)
+		if g, err = uniformPartition(global, opt.cells()); err != nil {
+			return bd, fmt.Errorf("spatial: grid: %w", err)
 		}
-		if global.IsEmpty() {
-			bd.Total = c.Now() - start
-			return bd, nil
-		}
-	}
-	cols, rows := squareDims(opt.cells())
-	g, err := grid.New(global, cols, rows)
-	if err != nil {
-		return bd, fmt.Errorf("spatial: grid: %w", err)
 	}
 	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
 	ci := newCellIndexer(c, c.Config().Scale())
@@ -504,6 +558,8 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 	bd.Index = ci.time
 	bd.Indexed = ci.indexed
 	bd.Quarantined = int64(stats.FramesQuarantined)
+	bd.GeomImbalance = stats.GeomImbalance
+	bd.ByteImbalance = stats.ByteImbalance
 
 	queryCells(c, g, ci.trees, queries, opt, &bd)
 	bd.Total = c.Now() - start
@@ -515,7 +571,7 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 // suppression, accumulating matches and refine time into bd. It is the
 // shared back half of RangeQuery (materialized) and RangeQueryFiles
 // (one-pass streamed).
-func queryCells(c *mpi.Comm, g *grid.Grid, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope, opt JoinOptions, bd *Breakdown) {
+func queryCells(c *mpi.Comm, g grid.Partition, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope, opt JoinOptions, bd *Breakdown) {
 	scale := c.Config().Scale()
 	pred := opt.predicate()
 
@@ -525,10 +581,11 @@ func queryCells(c *mpi.Comm, g *grid.Grid, trees map[int]*rtree.Tree[geom.Geomet
 	t1 := c.Now()
 	rank := c.Rank()
 	size := c.Size()
+	rankFor := grid.MappingOf(g)
 	for _, q := range queries {
 		qPoly := q.ToPolygon()
 		for _, cell := range g.CellsFor(q) {
-			if grid.RoundRobin(cell, size) != rank {
+			if rankFor(cell, size) != rank {
 				continue
 			}
 			tr := trees[cell]

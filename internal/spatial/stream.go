@@ -27,37 +27,40 @@ import (
 // Finish is collective.
 type IndexStream struct {
 	c     *mpi.Comm
-	g     *grid.Grid
+	g     grid.Partition
 	ex    *core.Exchanger
 	ci    *cellIndexer
 	start float64
 }
 
-// BuildIndexStream opens a streaming index build. The grid — and so the
-// global envelope — must be known up front: IndexOptions.Envelope is
-// required (when the envelope is unknown, read first and use the
-// materialized BuildIndex, which derives it with the MPI_UNION
-// Allreduce). All ranks must call it collectively with identical options.
+// BuildIndexStream opens a streaming index build. The partition — and so
+// the global envelope — must be known up front: IndexOptions.Partition or
+// IndexOptions.Envelope is required (when neither is known, read first and
+// use the materialized BuildIndex, which derives the envelope with the
+// MPI_UNION Allreduce). All ranks must call it collectively with identical
+// options.
 //
 //vet:uniform — validates only the shared IndexOptions; identical options fail every rank identically
 func BuildIndexStream(c *mpi.Comm, opt IndexOptions) (*IndexStream, error) {
-	if opt.Envelope == nil || opt.Envelope.IsEmpty() {
-		return nil, fmt.Errorf("spatial: BuildIndexStream requires a non-empty IndexOptions.Envelope")
+	if opt.Partition != nil {
+		return newIndexStream(c, opt.Partition, opt.WindowCells, opt.SkipBadFrames)
 	}
-	cols, rows := squareDims(opt.cells())
-	g, err := grid.New(*opt.Envelope, cols, rows)
+	if opt.Envelope == nil || opt.Envelope.IsEmpty() {
+		return nil, fmt.Errorf("spatial: BuildIndexStream requires a partition or a non-empty IndexOptions.Envelope")
+	}
+	g, err := uniformPartition(*opt.Envelope, opt.cells())
 	if err != nil {
 		return nil, fmt.Errorf("spatial: grid: %w", err)
 	}
 	return newIndexStream(c, g, opt.WindowCells, opt.SkipBadFrames)
 }
 
-// newIndexStream opens the streaming exchange over an already-built grid —
-// the shared core of BuildIndexStream and the one-pass RangeQueryFiles
-// (whose grid granularity comes from JoinOptions instead).
+// newIndexStream opens the streaming exchange over an already-built
+// partition — the shared core of BuildIndexStream and the one-pass
+// RangeQueryFiles (whose grid granularity comes from JoinOptions instead).
 //
-//vet:uniform — only Partitioner.Stream grid validation can fail, and the grid is rank-uniform
-func newIndexStream(c *mpi.Comm, g *grid.Grid, window int, skipBad bool) (*IndexStream, error) {
+//vet:uniform — only Partitioner.Stream grid validation can fail, and the partition is rank-uniform
+func newIndexStream(c *mpi.Comm, g grid.Partition, window int, skipBad bool) (*IndexStream, error) {
 	pt := &core.Partitioner{Grid: g, WindowCells: window, SkipBadFrames: skipBad}
 	ex, err := pt.Stream(c)
 	if err != nil {
@@ -77,8 +80,8 @@ func newIndexStream(c *mpi.Comm, g *grid.Grid, window int, skipBad bool) (*Index
 // feed directly from a ReadStream sink, including an overlapped one.
 func (s *IndexStream) Add(batch []geom.Geometry) error { return s.ex.Add(batch) }
 
-// Grid returns the grid whose cell ids key the finished trees.
-func (s *IndexStream) Grid() *grid.Grid { return s.g }
+// Grid returns the partition whose cell ids key the finished trees.
+func (s *IndexStream) Grid() grid.Partition { return s.g }
 
 // Finish runs the sliding-window exchange over the staged frames, building
 // each completed phase's cell trees as it goes, and returns this rank's
@@ -93,6 +96,8 @@ func (s *IndexStream) Finish() (map[int]*rtree.Tree[geom.Geometry], Breakdown, e
 	bd.Index = s.ci.time
 	bd.Indexed = s.ci.indexed
 	bd.Quarantined = int64(stats.FramesQuarantined)
+	bd.GeomImbalance = stats.GeomImbalance
+	bd.ByteImbalance = stats.ByteImbalance
 	bd.Total = s.c.Now() - s.start
 	if err != nil {
 		return nil, bd, fmt.Errorf("spatial: streamed index: %w", err)
@@ -110,8 +115,8 @@ func (s *IndexStream) Finish() (map[int]*rtree.Tree[geom.Geometry], Breakdown, e
 // index construction overlap and no rank ever holds its full local slice.
 // Returns the cell indexes, the grid, and this rank's un-aggregated
 // breakdown. All ranks must call it collectively.
-func BuildIndexFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt IndexOptions) (map[int]*rtree.Tree[geom.Geometry], *grid.Grid, Breakdown, error) {
-	if opt.Envelope == nil {
+func BuildIndexFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt core.ReadOptions, opt IndexOptions) (map[int]*rtree.Tree[geom.Geometry], grid.Partition, Breakdown, error) {
+	if opt.Envelope == nil && opt.Partition == nil {
 		t0 := c.Now()
 		local, _, err := core.ReadPartition(c, f, parser, readOpt)
 		if err != nil {
@@ -158,7 +163,7 @@ func BuildIndexFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt cor
 // Returns this rank's un-aggregated breakdown; matches are per-rank until
 // aggregated. All ranks must call it collectively.
 func RangeQueryFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt core.ReadOptions, queries []geom.Envelope, opt JoinOptions) (Breakdown, error) {
-	if opt.Envelope == nil {
+	if opt.Envelope == nil && opt.Partition == nil {
 		t0 := c.Now()
 		local, _, err := core.ReadPartition(c, f, parser, readOpt)
 		if err != nil {
@@ -175,13 +180,15 @@ func RangeQueryFiles(c *mpi.Comm, f *mpiio.File, parser core.Parser, readOpt cor
 	}
 
 	start := c.Now()
-	if opt.Envelope.IsEmpty() {
-		return Breakdown{}, fmt.Errorf("spatial: streamed range query requires a non-empty envelope")
-	}
-	cols, rows := squareDims(opt.cells())
-	g, err := grid.New(*opt.Envelope, cols, rows)
-	if err != nil {
-		return Breakdown{}, fmt.Errorf("spatial: grid: %w", err)
+	g := opt.Partition
+	if g == nil {
+		if opt.Envelope.IsEmpty() {
+			return Breakdown{}, fmt.Errorf("spatial: streamed range query requires a non-empty envelope")
+		}
+		var err error
+		if g, err = uniformPartition(*opt.Envelope, opt.cells()); err != nil {
+			return Breakdown{}, fmt.Errorf("spatial: grid: %w", err)
+		}
 	}
 	s, err := newIndexStream(c, g, opt.WindowCells, opt.SkipBadFrames)
 	if err != nil {

@@ -203,6 +203,47 @@
 // touches the Comm (IndexStream.Add and Exchanger.Add qualify). See
 // examples/streamquery for the complete file-to-query program.
 //
+// # Skew-aware partitioning
+//
+// Real vector data piles up where people live, and under the uniform grid
+// with round-robin cell ownership a hot cell stays on one rank however
+// unlucky that is. SamplePartition is the sample → analyze → tune pass
+// that builds a better partition before ingest: every rank stride-samples
+// record envelopes from a small file prefix (one collective read), the
+// binned per-record loads are Allreduced into a rank-identical histogram,
+// a quadtree splits the hot quadrants until each leaf's expected load
+// clears cost-model-derived thresholds, and the leaves — ordered along
+// the Hilbert space-filling curve — are greedily bin-packed into a
+// cell-to-rank placement, so neighboring cells share ranks and every rank
+// carries a near-equal share of the sampled load. The returned Adaptive
+// partition presents the same Partition surface as the uniform Grid plus
+// its own placement, and drops into Partitioner.Grid or the spatial
+// workloads' Partition option (JoinOptions.Partition,
+// IndexOptions.Partition) in place of the uniform grid:
+//
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		part, err := vectorio.SamplePartition(c, f, vectorio.NewWKTParser(),
+//			vectorio.ReadOptions{}, vectorio.PartitionOptions{})
+//		if err != nil {
+//			return err
+//		}
+//		pt := &vectorio.Partitioner{Grid: part}
+//		cells, _, estats, err := vectorio.ReadExchange(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{}, pt)
+//		...
+//	})
+//
+// The pass is deterministic and rank-uniform: the same file and options
+// build the same partition on every rank, so it composes with every
+// pipeline mode — the equivalence matrix of internal/pipelinetest pins
+// materialized, streamed, and backpressure runs bitwise-identical under an
+// adaptive partition too. ExchangeStats reports each exchange's realized
+// balance: GeomImbalance and ByteImbalance are max/mean per-rank load
+// factors (1.0 = perfectly balanced), identical on every rank, and
+// surfaced through the spatial workloads' Breakdown. BENCH_ingest.json's
+// skew rows track uniform-vs-adaptive placement on skewed datasets; the
+// Hotspot dataset preset is the extreme-skew stress layer, and the
+// ZipfSkew knob on DatasetSpec dials cluster skew for custom ones.
+//
 // # Failure semantics and fault injection
 //
 // Every collective entry point above settles failure collectively: when
@@ -645,10 +686,42 @@ var (
 )
 
 // Grid construction for custom partitioning pipelines.
-type Grid = grid.Grid
+type (
+	// Grid is the uniform cellular grid of §4.2.
+	Grid = grid.Grid
+	// Partition is the cellular-decomposition surface both the uniform
+	// Grid and the skew-aware Adaptive partition satisfy; Partitioner.Grid
+	// and the spatial workloads' Partition options accept either.
+	Partition = grid.Partition
+	// Adaptive is the skew-aware partition: quadtree leaves over a sampled
+	// load histogram, Hilbert-ordered and bin-packed into a cell-to-rank
+	// placement (see "Skew-aware partitioning" above).
+	Adaptive = grid.Adaptive
+	// Histogram is the binned load sample BuildAdaptive analyzes.
+	Histogram = grid.Histogram
+	// AdaptiveOptions tunes BuildAdaptive's splitting and packing.
+	AdaptiveOptions = grid.AdaptiveOptions
+	// PartitionOptions configures SamplePartition's sampling pass.
+	PartitionOptions = core.PartitionOptions
+)
 
-// NewGrid builds a uniform cellular grid over an envelope.
-var NewGrid = grid.New
+// Grid and partition constructors.
+var (
+	// NewGrid builds a uniform cellular grid over an envelope.
+	NewGrid = grid.New
+	// NewHistogram builds an empty load histogram over an envelope.
+	NewHistogram = grid.NewHistogram
+	// BuildAdaptive analyzes a reduced histogram into the tuned partition.
+	BuildAdaptive = grid.BuildAdaptive
+)
+
+// SamplePartition is the sample → analyze → tune pass that builds the
+// skew-aware Adaptive partition from a file prefix before ingest (see
+// "Skew-aware partitioning" in the package documentation). All ranks must
+// call it collectively.
+func SamplePartition(c *Comm, f *File, p Parser, opt ReadOptions, popt PartitionOptions) (*Adaptive, error) {
+	return core.SamplePartition(c, f, p, opt, popt)
+}
 
 // Synthetic dataset generation (the OSM-extract substitute).
 type (
@@ -678,6 +751,10 @@ var (
 	RoadNetwork = datagen.RoadNetwork
 	AllNodes    = datagen.AllNodes
 	AllDatasets = datagen.AllDatasets
+	// Hotspot is the extreme-skew stress preset (not part of Table 3):
+	// a steep-Zipf point layer whose hottest clusters hold most of the
+	// records — the dataset the skew-aware partition is benchmarked on.
+	Hotspot = datagen.Hotspot
 
 	// Generate writes a scaled dataset as newline-delimited WKT.
 	Generate = datagen.Generate
