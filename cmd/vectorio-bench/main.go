@@ -10,6 +10,7 @@
 //	vectorio-bench -bench-ingest        # wall-clock ingest baseline -> BENCH_ingest.json
 //	vectorio-bench -bench-query         # refresh the streamed-vs-materialized index rows
 //	vectorio-bench -bench-skew          # refresh the uniform-vs-adaptive partition rows
+//	vectorio-bench -bench-serve         # refresh the resident query-service rows
 //
 // -scale-mul multiplies every dataset's default scale factor (larger means
 // smaller real files and faster runs); -quick shrinks parameter sweeps.
@@ -30,6 +31,12 @@
 // adaptive partition, reporting each placement's max/mean per-rank load
 // imbalance — and merges them into an existing BENCH_ingest.json the same
 // way.
+//
+// -bench-serve measures only the serve rows — a resident query service
+// standing over the per-rank cell indexes, answering thousands of range
+// queries from concurrent client goroutines, reporting QPS and p50/p95/p99
+// latency under both partition families — and merges them into an existing
+// BENCH_ingest.json the same way.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -51,7 +59,8 @@ func main() {
 	ingest := flag.Bool("bench-ingest", false, "measure the wall-clock ingest baseline and write BENCH_ingest.json")
 	query := flag.Bool("bench-query", false, "measure the streamed-vs-materialized file-to-query rows and merge them into BENCH_ingest.json")
 	skew := flag.Bool("bench-skew", false, "measure the uniform-vs-adaptive partition rows on skewed datasets and merge them into BENCH_ingest.json")
-	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest / -bench-query / -bench-skew")
+	srv := flag.Bool("bench-serve", false, "measure the resident query-service rows (QPS, latency percentiles) and merge them into BENCH_ingest.json")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "output path for -bench-ingest / -bench-query / -bench-skew / -bench-serve")
 	flag.Parse()
 
 	if *list {
@@ -63,10 +72,13 @@ func main() {
 
 	cfg := bench.Config{ScaleMul: *scaleMul, Quick: *quick}
 
-	if *query || *skew {
+	if *query || *skew || *srv {
 		what := "bench-query"
-		if *skew {
+		switch {
+		case *skew:
 			what = "bench-skew"
+		case *srv:
+			what = "bench-serve"
 		}
 		fail := func(err error) {
 			fmt.Fprintln(os.Stderr, "vectorio-bench:", what+":", err)
@@ -86,13 +98,14 @@ func main() {
 		case !os.IsNotExist(err):
 			fail(fmt.Errorf("reading existing %s: %w", *ingestOut, err))
 		}
-		updated := "index_query"
+		var updated []string
 		if *query {
 			rows, err := bench.RunQueryReport(cfg)
 			if err != nil {
 				fail(err)
 			}
 			rep.IndexQuery = rows
+			updated = append(updated, "index_query")
 		}
 		if *skew {
 			rows, err := bench.RunSkewReport(cfg)
@@ -100,10 +113,15 @@ func main() {
 				fail(err)
 			}
 			rep.Skew = rows
-			updated = "skew"
-			if *query {
-				updated = "index_query and skew"
+			updated = append(updated, "skew")
+		}
+		if *srv {
+			rows, err := bench.RunServeReport(cfg)
+			if err != nil {
+				fail(err)
 			}
+			rep.Serve = rows
+			updated = append(updated, "serve")
 		}
 		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 		if rep.GoVersion == "" {
@@ -118,7 +136,7 @@ func main() {
 		if err := os.WriteFile(*ingestOut, out, 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Printf("   (updated %s rows in %s)\n", updated, *ingestOut)
+		fmt.Printf("   (updated %s rows in %s)\n", strings.Join(updated, " and "), *ingestOut)
 		return
 	}
 

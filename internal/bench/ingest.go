@@ -122,6 +122,11 @@ type IngestReport struct {
 	// skewed datasets (see SkewRun). `vectorio-bench -bench-skew` refreshes
 	// just these rows in an existing BENCH_ingest.json.
 	Skew []SkewRun `json:"skew"`
+	// Serve carries the resident query-service rows — QPS and latency
+	// percentiles under concurrent clients (see ServeRun).
+	// `vectorio-bench -bench-serve` refreshes just these rows in an
+	// existing BENCH_ingest.json.
+	Serve []ServeRun `json:"serve"`
 }
 
 // seedParserBaseline is the seed (pre-rewrite) scanner measured on the same
@@ -270,6 +275,14 @@ func RunIngestReport(cfg Config) (*IngestReport, error) {
 		return nil, err
 	}
 	rep.Skew = skew
+
+	// Resident query service under concurrent clients (`-bench-serve`
+	// refreshes just these rows).
+	srv, err := RunServeReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Serve = srv
 	return rep, nil
 }
 
@@ -641,6 +654,15 @@ func (r *IngestReport) IngestTable() *Table {
 			fmt.Sprintf("%.1f", run.MBPerSec),
 			fmt.Sprintf("geom imb %.2f", run.GeomImbalance),
 			fmt.Sprintf("byte imb %.2f", run.ByteImbalance),
+		})
+	}
+	for _, run := range r.Serve {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("serve[%s %s x%d c%d]", run.Dataset, run.Partition, run.Ranks, run.Clients),
+			fmt.Sprintf("%d req", run.Queries),
+			fmt.Sprintf("%.0f qps", run.QPS),
+			fmt.Sprintf("p50 %.0fus", run.P50Micros),
+			fmt.Sprintf("p99 %.0fus", run.P99Micros),
 		})
 	}
 	return t

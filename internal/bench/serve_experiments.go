@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/serve"
+	"repro/internal/spatial"
+)
+
+// ServeRun is one resident-service measurement: the per-rank cell indexes
+// stay standing behind a serve.Service while concurrent client goroutines
+// hammer it with range queries. QPS and the latency percentiles are real
+// wall-clock (the request path never touches the virtual clock); Rounds vs
+// Admitted shows how much admission batching coalesced under concurrency —
+// Admitted counts routed sub-requests, Rounds the evaluation drains that
+// served them, so Admitted/Rounds grows with client pressure.
+type ServeRun struct {
+	Dataset     string  `json:"dataset"`
+	Format      string  `json:"format"`
+	Partition   string  `json:"partition"` // "uniform" or "adaptive"
+	Ranks       int     `json:"ranks"`
+	Clients     int     `json:"clients"`
+	Queries     int     `json:"queries"`
+	Pairs       int64   `json:"pairs"`
+	Rounds      int     `json:"rounds"`
+	Admitted    int     `json:"admitted"`
+	QPS         float64 `json:"qps"`
+	P50Micros   float64 `json:"p50_micros"`
+	P95Micros   float64 `json:"p95_micros"`
+	P99Micros   float64 `json:"p99_micros"`
+	WallSeconds float64 `json:"wall_seconds"` // serving phase only
+}
+
+// RunServeReport measures the serve rows — the `vectorio-bench -bench-serve`
+// payload, merged into an existing BENCH_ingest.json without disturbing the
+// other sections: the lakes layer under both partition families, each
+// serving the query stream from 1, 8, and 32 concurrent clients.
+func RunServeReport(cfg Config) ([]ServeRun, error) {
+	requests := 2048
+	clientSweep := []int{1, 8, 32}
+	if cfg.Quick {
+		requests = 256
+		clientSweep = []int{1, 8}
+	}
+	var rows []ServeRun
+	for _, adaptive := range []bool{false, true} {
+		for _, clients := range clientSweep {
+			run, err := serveOnce(cfg, 4, clients, requests, adaptive)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, run)
+		}
+	}
+	return rows, nil
+}
+
+// serveOnce stands one resident service up over the lakes layer and drives
+// requests range queries through it from clients goroutines. The rank side
+// is the full pipeline — read, partition (uniform grid or the sample-built
+// adaptive one), exchange, per-cell index build — ending in
+// spatial.ServeQuery, which parks the ranks behind the service until the
+// clients finish; the measured window is the serving phase alone, from
+// service-ready to last response.
+func serveOnce(cfg Config, ranks, clients, requests int, adaptive bool) (ServeRun, error) {
+	f, spec, opt, parser, err := ingestFixture(cfg, datagen.EncodingWKT, 256)
+	if err != nil {
+		return ServeRun{}, err
+	}
+	world := geom.Envelope{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+	queries := benchQueries(requests)
+
+	svc := serve.NewService(ranks)
+	lat := make([]float64, len(queries)) // per-request latency, microseconds
+	var (
+		clientMu  sync.Mutex
+		clientErr error
+	)
+	var serveStart time.Time
+	var startOnce sync.Once
+	var serveWall float64
+	var cwg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			select {
+			case <-svc.Ready():
+			case <-svc.Closed():
+				return
+			}
+			startOnce.Do(func() { serveStart = time.Now() })
+			for qi := ci; qi < len(queries); qi += clients {
+				t0 := time.Now()
+				_, err := svc.Range(uint64(qi), queries[qi])
+				lat[qi] = float64(time.Since(t0)) / float64(time.Microsecond)
+				if err != nil {
+					clientMu.Lock()
+					if clientErr == nil {
+						clientErr = fmt.Errorf("client %d request %d: %w", ci, qi, err)
+					}
+					clientMu.Unlock()
+					return
+				}
+			}
+		}(ci)
+	}
+	go func() {
+		cwg.Wait()
+		serveWall = time.Since(serveStart).Seconds()
+		svc.Close()
+	}()
+
+	err = mpi.Run(cluster.Local(ranks), func(c *mpi.Comm) error {
+		mf := mpiio.Open(c, f, mpiio.Hints{})
+		var g grid.Partition
+		if adaptive {
+			// The same denser sampling pass as the skew rows: the generated
+			// file is tiny, so the defaults see too few records to split on.
+			var err error
+			g, err = core.SamplePartition(c, mf, parser(), opt, core.PartitionOptions{
+				Envelope:      &world,
+				SampleBytes:   f.Size() / 4,
+				SampleStride:  4,
+				HistogramSide: 256,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		local, _, err := core.ReadPartition(c, mf, parser(), opt)
+		if err != nil {
+			return err
+		}
+		jopt := spatial.JoinOptions{GridCells: 256, Envelope: &world, Partition: g}
+		_, err = spatial.ServeQuery(c, local, svc, jopt)
+		return err
+	})
+	svc.Close() // release clients parked on Ready if the world failed early
+	cwg.Wait()
+	if err != nil {
+		return ServeRun{}, fmt.Errorf("serve adaptive=%v clients=%d: %w", adaptive, clients, err)
+	}
+	if clientErr != nil {
+		return ServeRun{}, fmt.Errorf("serve adaptive=%v clients=%d: %w", adaptive, clients, clientErr)
+	}
+
+	var pairs int64
+	var rounds, admitted int
+	for r := 0; r < ranks; r++ {
+		st := svc.Stats(r)
+		pairs += st.Pairs
+		rounds += st.Rounds
+		admitted += st.Admitted
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return sorted[int(p*float64(len(sorted)-1))]
+	}
+	partition := "uniform"
+	if adaptive {
+		partition = "adaptive"
+	}
+	return ServeRun{
+		Dataset:     spec.Name,
+		Format:      datagen.EncodingWKT.String(),
+		Partition:   partition,
+		Ranks:       ranks,
+		Clients:     clients,
+		Queries:     len(queries),
+		Pairs:       pairs,
+		Rounds:      rounds,
+		Admitted:    admitted,
+		QPS:         float64(len(queries)) / serveWall,
+		P50Micros:   pct(0.50),
+		P95Micros:   pct(0.95),
+		P99Micros:   pct(0.99),
+		WallSeconds: serveWall,
+	}, nil
+}

@@ -60,6 +60,23 @@ func IndexQuery(n, k int) float64 {
 	return indexInsertBase*math.Log2(float64(n)+2) + FilterTest*float64(k)
 }
 
+// VirtualCount converts a real element count to its full-scale equivalent.
+// The product rounds half away from zero rather than truncating: truncation
+// silently drops the fractional full-scale share of every count, and at
+// scales below 1 it floors small counts to 0, erasing a small cell's
+// IndexQuery and RefineCost charges from the virtual clock entirely. Any
+// nonzero real count stands for at least one full-scale element.
+func VirtualCount(n int, scale float64) int {
+	if n <= 0 {
+		return 0
+	}
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
 // Refinement constants: an exact intersection test on filter survivors
 // costs a fixed overhead plus a per-vertex-pair term. The base reflects a
 // GEOS Intersects call (geometry preparation, edge-graph setup, allocation

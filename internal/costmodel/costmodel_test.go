@@ -127,6 +127,46 @@ func TestAllCostsNonNegativeProperty(t *testing.T) {
 	}
 }
 
+// TestVirtualCount pins the full-scale count conversion: round half away
+// from zero instead of truncate, and never collapse a nonzero real count to
+// zero. The (3, 2.5) and (7, 1.5) cases are the regression — truncation
+// returned 7 and 10 where rounding returns 8 and 11 (a scaled count's
+// fractional share silently vanished) — and the sub-1 scales pin the floor
+// that keeps a small cell's index and refine charges on the virtual clock.
+func TestVirtualCount(t *testing.T) {
+	cases := []struct {
+		n     int
+		scale float64
+		want  int
+	}{
+		{0, 2.5, 0},      // nothing real, nothing virtual
+		{-3, 2.0, 0},     // defensive: negative counts clamp to zero
+		{3, 1.0, 3},      // integer scales are exact
+		{100, 8.0, 800},  // integer scales are exact
+		{3, 2.5, 8},      // 7.5 rounds up; truncation said 7
+		{7, 1.5, 11},     // 10.5 rounds up; truncation said 10
+		{5, 2.2, 11},     // 11.0 exact
+		{1, 0.3, 1},      // floor: a real element is at least one virtual one
+		{2, 0.1, 1},      // floor again; truncation said 0
+		{1000, 0.5, 500}, // sub-1 scales still scale large counts
+	}
+	for _, tc := range cases {
+		if got := VirtualCount(tc.n, tc.scale); got != tc.want {
+			t.Errorf("VirtualCount(%d, %v) = %d, want %d", tc.n, tc.scale, got, tc.want)
+		}
+	}
+	// Round-trip sanity: for integer scales the product is exact, so the
+	// rounding path and plain truncation coincide — no historical virtual
+	// clock built on integer ByteScales moves.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		n, s := r.Intn(1<<16), float64(1+r.Intn(16))
+		if got, want := VirtualCount(n, s), int(float64(n)*s); n > 0 && got != want {
+			t.Fatalf("VirtualCount(%d, %v) = %d, want exact %d", n, s, got, want)
+		}
+	}
+}
+
 // TestStructBeatsContiguousDecode pins the Figure 12 ordering into the
 // constants: struct decoding must be cheaper than the contiguous path for
 // any record stream.

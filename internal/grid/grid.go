@@ -85,25 +85,46 @@ func (g *Grid) CellEnv(id int) geom.Envelope {
 }
 
 // clampCol maps an x coordinate to a column, clamping outside points to the
-// border cells.
+// border cells. The division is only a first guess: dividing by cellW and
+// the multiplication CellEnv uses for cell edges can disagree by one ulp at
+// a cell boundary, and the two views of the grid must coincide — CellAt and
+// CellsFor feed the reference-point rule and the query iteration while the
+// CellIndex R-tree holds CellEnv rectangles, so a divergence leaves a
+// boundary geometry placed only in the cell left of an edge that the query
+// path starts iterating at, silently dropping the hit on every rank. The
+// guess is repaired against the same boundary expression CellEnv evaluates,
+// making the half-open column intervals exact.
 func (g *Grid) clampCol(x float64) int {
 	c := int((x - g.env.MinX) / g.cellW)
 	if c < 0 {
 		return 0
 	}
 	if c >= g.cols {
-		return g.cols - 1
+		c = g.cols - 1
+	}
+	for c > 0 && x < g.env.MinX+float64(c)*g.cellW {
+		c--
+	}
+	for c < g.cols-1 && x >= g.env.MinX+float64(c+1)*g.cellW {
+		c++
 	}
 	return c
 }
 
+// clampRow is clampCol for the y axis, with the same boundary repair.
 func (g *Grid) clampRow(y float64) int {
 	r := int((y - g.env.MinY) / g.cellH)
 	if r < 0 {
 		return 0
 	}
 	if r >= g.rows {
-		return g.rows - 1
+		r = g.rows - 1
+	}
+	for r > 0 && y < g.env.MinY+float64(r)*g.cellH {
+		r--
+	}
+	for r < g.rows-1 && y >= g.env.MinY+float64(r+1)*g.cellH {
+		r++
 	}
 	return r
 }

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -183,6 +184,88 @@ func TestReplicationInvariant(t *testing.T) {
 				t.Fatalf("cell %d overlaps %+v but is not in replication set", c, e)
 			}
 		}
+	}
+}
+
+// TestCellAtBoundaryConsistency pins the clamp repair: CellAt and CellEnv
+// must describe the same half-open column/row intervals even when the
+// division in the clamp and the multiplication in CellEnv round a cell
+// boundary to different ulps. The regression case is a [0,1] world whose
+// cell width is inexact (e.g. 6 columns): one ulp below the rounded
+// boundary 3*fl(1/6) the unrepaired division already lands in column 3,
+// but CellEnv(3).MinX is above the point — so a geometry there was placed
+// only left of the edge while queries started iterating at the edge, and
+// the pair was silently dropped on every rank.
+func TestCellAtBoundaryConsistency(t *testing.T) {
+	for _, cols := range []int{2, 3, 5, 6, 7, 9, 11, 13, 23, 37, 50} {
+		g, err := New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, cols, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 1; c < cols; c++ {
+			// The boundary exactly as CellEnv computes it.
+			b := g.CellEnv(c).MinX
+			for _, x := range []float64{b, math.Nextafter(b, 0), math.Nextafter(b, 1)} {
+				if x < 0 || x > 1 {
+					continue
+				}
+				col := g.CellAt(x, 0.5) % cols
+				ce := g.CellEnv(col)
+				if x < ce.MinX || (col < cols-1 && x >= ce.MaxX) {
+					t.Fatalf("cols=%d: CellAt(%v) = col %d but CellEnv(col) = [%v,%v): point outside its own cell",
+						cols, x, col, ce.MinX, ce.MaxX)
+				}
+				row := g.CellAt(0.5, x) / cols
+				re := g.CellEnv(row * cols)
+				if x < re.MinY || (row < cols-1 && x >= re.MaxY) {
+					t.Fatalf("rows=%d: CellAt(y=%v) = row %d but CellEnv(row) = [%v,%v): point outside its own cell",
+						cols, x, row, re.MinY, re.MaxY)
+				}
+			}
+		}
+	}
+}
+
+// TestPairRefCell pins the duplicate-avoidance reference cell of a
+// candidate pair: identical to the historical RefCell(Intersection) rule
+// for genuinely overlapping pairs, and well-defined — a deterministic
+// in-world cell — for the degenerate and barely-disjoint shapes where
+// Intersection collapses.
+func TestPairRefCell(t *testing.T) {
+	g, _ := New(world(), 10, 10)
+
+	// Overlapping pair: bitwise the same cell as the Intersection-based rule.
+	a := geom.Envelope{MinX: 8, MinY: 8, MaxX: 22, MaxY: 12}
+	b := geom.Envelope{MinX: 15, MinY: 5, MaxX: 30, MaxY: 9}
+	if got, want := PairRefCell(g, a, b), g.RefCell(a.Intersection(b)); got != want {
+		t.Errorf("overlapping pair: PairRefCell = %d, RefCell(Intersection) = %d", got, want)
+	}
+
+	// Edge-touching pair straddling a cell border: the intersection is the
+	// degenerate segment x=20, whose lower-left corner sits exactly on the
+	// border — the reference cell is the one starting at the border.
+	a = geom.Envelope{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20}
+	b = geom.Envelope{MinX: 20, MinY: 0, MaxX: 40, MaxY: 20}
+	if got, want := PairRefCell(g, a, b), g.CellAt(20, 0); got != want {
+		t.Errorf("edge-touching pair: PairRefCell = %d, want %d", got, want)
+	}
+
+	// Corner-touching pair: degenerate point intersection at (30, 30).
+	a = geom.Envelope{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30}
+	b = geom.Envelope{MinX: 30, MinY: 30, MaxX: 50, MaxY: 50}
+	if got, want := PairRefCell(g, a, b), g.CellAt(30, 30); got != want {
+		t.Errorf("corner-touching pair: PairRefCell = %d, want %d", got, want)
+	}
+
+	// Disjoint pair: Intersection normalizes to EmptyEnvelope, so the old
+	// rule pushed its (+Inf,+Inf) corner through an overflowing float-to-int
+	// conversion — whatever border cell that clamps to is an accident of the
+	// platform's overflow behavior. PairRefCell stays at the deterministic
+	// in-range point (30, 30).
+	a = geom.Envelope{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	b = geom.Envelope{MinX: 30, MinY: 30, MaxX: 40, MaxY: 40}
+	if got, want := PairRefCell(g, a, b), g.CellAt(30, 30); got != want {
+		t.Errorf("disjoint pair: PairRefCell = %d, want %d", got, want)
 	}
 }
 

@@ -1,6 +1,10 @@
 package grid
 
-import "repro/internal/geom"
+import (
+	"math"
+
+	"repro/internal/geom"
+)
 
 // Partition is the surface every cellular decomposition of a world envelope
 // presents to the pipeline: the uniform Grid of §4.2 and the skew-aware
@@ -42,4 +46,21 @@ func MappingOf(p Partition) func(cell, size int) int {
 		return m.RankFor
 	}
 	return RoundRobin
+}
+
+// PairRefCell returns the duplicate-avoidance cell of a candidate pair: the
+// cell containing the reference point — the lower-left corner of the
+// intersection of the two MBRs (§4's rule). The point is taken directly
+// from the envelopes rather than from Envelope.Intersection: for pairs that
+// only touch at an edge or corner the intersection is degenerate, and a
+// barely-disjoint pair normalizes to EmptyEnvelope, whose (+Inf, +Inf)
+// corner goes through an overflowing float-to-int conversion whose result
+// is implementation-specific — an arbitrary border cell, the wrong one on
+// every rank. max(MinX), max(MinY) is the intersection's lower-left
+// corner whenever the envelopes overlap at all, degenerate included, and a
+// deterministic in-range point otherwise.
+func PairRefCell(p Partition, a, b geom.Envelope) int {
+	x := math.Max(a.MinX, b.MinX)
+	y := math.Max(a.MinY, b.MinY)
+	return p.RefCell(geom.Envelope{MinX: x, MinY: y, MaxX: x, MaxY: y})
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/mpiio"
 	"repro/internal/pfs"
 	"repro/internal/rtree"
+	"repro/internal/serve"
 	"repro/internal/spatial"
 	"repro/internal/wkt"
 )
@@ -52,9 +53,16 @@ const (
 	// drains batch N on its own goroutine while the rank parses batch N+1
 	// (ReadOptions.SinkOverlap).
 	StreamedOverlap
+	// Served is the resident-service composition: the same materialized
+	// read and index build, but the query batch is submitted by concurrent
+	// client goroutines against spatial.ServeQuery's standing service
+	// instead of being evaluated inline. Run with RunServe, not Run — it
+	// needs a client count.
+	Served
 )
 
-// Modes lists every pipeline composition the harness runs.
+// Modes lists every pipeline composition RunAll runs. Served is absent:
+// it takes a client count, so the serve matrix drives it explicitly.
 var Modes = []Mode{Materialized, Streamed, StreamedOverlap}
 
 func (m Mode) String() string {
@@ -65,6 +73,8 @@ func (m Mode) String() string {
 		return "streamed"
 	case StreamedOverlap:
 		return "streamed+overlap"
+	case Served:
+		return "served"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -301,6 +311,175 @@ func RunE(cfg Config, mode Mode) (*Result, []error, error) {
 	return res, errs, worldErr
 }
 
+// RunServe executes the workload under the Served mode — clients concurrent
+// client goroutines submitting the query batch against a resident
+// serve.Service — and fails the test on any rank, client, or world error.
+// The Result is directly comparable to a Materialized Run over the same
+// Config: same read output, same index, and (the point of the mode) served
+// answers and a final clock that must match the batch query bitwise.
+func RunServe(t *testing.T, cfg Config, clients int) *Result {
+	t.Helper()
+	res, errs, worldErr := RunServeE(cfg, clients)
+	if worldErr != nil {
+		t.Fatalf("%s pipeline (clients=%d): %v", Served, clients, worldErr)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("%s pipeline (clients=%d): rank %d: %v", Served, clients, r, err)
+		}
+	}
+	return res
+}
+
+// RunServeE is RunServe's error-capturing form. The query batch is struck
+// round-robin across clients goroutines (query i driven by client i mod
+// clients, with request id i — the numbering that makes the charge replay
+// reproduce the batch clock); the service closes once every client has
+// drained its share, releasing the ranks to replay their charges. If the
+// world dies before the service ever becomes ready, the deferred Close
+// releases any client still parked in Range.
+func RunServeE(cfg Config, clients int) (*Result, []error, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	res := &Result{
+		Mode:           Served,
+		Local:          make([][]string, cfg.Ranks),
+		ReadStats:      make([]core.ReadStats, cfg.Ranks),
+		Batches:        make([]int, cfg.Ranks),
+		IndexCard:      make([]map[int]int, cfg.Ranks),
+		IndexSet:       make([]map[int][]string, cfg.Ranks),
+		BuildPartition: make([]float64, cfg.Ranks),
+		BuildComm:      make([]float64, cfg.Ranks),
+		BuildIndexTime: make([]float64, cfg.Ranks),
+		Indexed:        make([]int64, cfg.Ranks),
+		QueryPairs:     make([]int64, cfg.Ranks),
+		QueryRefine:    make([]float64, cfg.Ranks),
+		QueryHits:      make([][]string, cfg.Ranks),
+		Clock:          make([]float64, cfg.Ranks),
+	}
+	env := cfg.Envelope
+	iopt := spatial.IndexOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env, Partition: cfg.Partition}
+	jopt := spatial.JoinOptions{GridCells: cfg.GridCells, WindowCells: cfg.WindowCells, Envelope: &env, Partition: cfg.Partition}
+
+	svc := serve.NewService(cfg.Ranks)
+	var clientErr error
+	var clientMu sync.Mutex
+	var cwg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		cwg.Add(1)
+		go func(ci int) {
+			defer cwg.Done()
+			select {
+			case <-svc.Ready():
+			case <-svc.Closed():
+				return
+			}
+			for qi := ci; qi < len(cfg.Queries); qi += clients {
+				if _, err := svc.Range(uint64(qi), cfg.Queries[qi]); err != nil {
+					clientMu.Lock()
+					if clientErr == nil {
+						clientErr = fmt.Errorf("client %d query %d: %w", ci, qi, err)
+					}
+					clientMu.Unlock()
+					return
+				}
+			}
+		}(ci)
+	}
+	// The service closes when the last client finishes — that releases the
+	// ranks parked in spatial.Serve to replay their recorded charges.
+	go func() {
+		cwg.Wait()
+		svc.Close()
+	}()
+
+	errs := make([]error, cfg.Ranks)
+	var mu sync.Mutex
+	worldErr := mpi.RunOpt(cluster.Local(cfg.Ranks), cfg.World, func(c *mpi.Comm) error {
+		fail := func(err error) error {
+			mu.Lock()
+			errs[c.Rank()] = err
+			mu.Unlock()
+			return err
+		}
+		f := mpiio.Open(c, cfg.File, mpiio.Hints{})
+
+		// Pipeline 1: file -> per-cell index (identical to Materialized).
+		geoms, rstats, err := core.ReadPartition(c, f, cfg.Parser(), cfg.ReadOpt)
+		if err != nil {
+			return fail(err)
+		}
+		var local []string
+		for _, gg := range geoms {
+			local = append(local, wkt.Format(gg))
+		}
+		trees, _, buildBD, err := spatial.BuildIndex(c, geoms, iopt)
+		if err != nil {
+			return fail(err)
+		}
+
+		// Pipeline 2: file -> resident query service.
+		geoms2, _, err := core.ReadPartition(c, f, cfg.Parser(), cfg.ReadOpt)
+		if err != nil {
+			return fail(err)
+		}
+		queryBD, err := spatial.ServeQuery(c, geoms2, svc, jopt)
+		if err != nil {
+			return fail(err)
+		}
+		clock := c.Now()
+
+		card := make(map[int]int, len(trees))
+		set := make(map[int][]string, len(trees))
+		for cell, tr := range trees {
+			card[cell] = tr.Len()
+			var ws []string
+			tr.Search(tr.Envelope(), func(_ geom.Envelope, v geom.Geometry) bool {
+				ws = append(ws, wkt.Format(v))
+				return true
+			})
+			sort.Strings(ws)
+			set[cell] = ws
+		}
+		// The served answers themselves, not a harness re-evaluation: this
+		// is the observation that pins service results to the batch oracle.
+		var hits []string
+		for id, ms := range svc.Matches(c.Rank()) {
+			for _, gg := range ms {
+				hits = append(hits, fmt.Sprintf("%d:%s", id, wkt.Format(gg)))
+			}
+		}
+		sort.Strings(hits)
+
+		mu.Lock()
+		r := c.Rank()
+		res.Local[r] = local
+		res.ReadStats[r] = rstats
+		res.Batches[r] = -1
+		res.IndexCard[r] = card
+		res.IndexSet[r] = set
+		res.BuildPartition[r] = buildBD.Partition
+		res.BuildComm[r] = buildBD.Comm
+		res.BuildIndexTime[r] = buildBD.Index
+		res.Indexed[r] = buildBD.Indexed
+		res.QueryPairs[r] = queryBD.Pairs
+		res.QueryRefine[r] = queryBD.Refine
+		res.QueryHits[r] = hits
+		res.Clock[r] = clock
+		mu.Unlock()
+		return nil
+	})
+	// If the world died before every rank registered, clients may still be
+	// parked in Range waiting on Ready; closing releases them with ErrClosed.
+	svc.Close()
+	cwg.Wait()
+	if worldErr == nil {
+		worldErr = clientErr
+	}
+	return res, errs, worldErr
+}
+
 // evalQueries re-evaluates the query batch against the finished trees with
 // the same ownership, filter, and reference-point rules the query phase
 // applies — the harness's independent record of which geometry matched
@@ -320,8 +499,7 @@ func evalQueries(rank, size int, g grid.Partition, trees map[int]*rtree.Tree[geo
 				continue
 			}
 			for _, gg := range tr.Query(q) {
-				ov := gg.Envelope().Intersection(q)
-				if g.RefCell(ov) != cell {
+				if grid.PairRefCell(g, gg.Envelope(), q) != cell {
 					continue
 				}
 				if geom.Intersects(gg, qPoly) {

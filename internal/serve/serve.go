@@ -1,0 +1,460 @@
+// Package serve turns the batch query path into a resident distributed
+// query service over the already-built per-rank cell indexes: the paper's
+// partitioned parallel ingest exists to make spatial queries fast, and the
+// north-star workload is a standing index hammered by many concurrent
+// clients, not a fixed batch evaluated once.
+//
+// The package splits the query path into two layers:
+//
+//   - Session is one rank's evaluation core — the filter-and-refine inner
+//     loop refactored out of the batch workloads (spatial.RangeQuery and
+//     the join are thin wrappers over it). A Session is read-only after
+//     construction: the R-trees are immutable once built, every geometry's
+//     envelope cache is primed up front, and evaluation writes only through
+//     the caller's callbacks — so any number of goroutines may query one
+//     Session concurrently.
+//   - Service is the in-process frontend: rank goroutines register their
+//     Sessions, client goroutines submit requests from outside the MPI
+//     world, and a dispatcher routes each request only to the ranks owning
+//     grid cells its envelope overlaps (O(1) per cell via the partition's
+//     cell-to-rank map, uniform and adaptive alike). Admission queues
+//     coalesce concurrent requests into per-rank rounds: while one client
+//     drains a rank's queue, requests arriving behind it are admitted by
+//     the drainer in its next round instead of waiting for a turn.
+//
+// Determinism survives concurrency by construction. Evaluation never
+// touches a communicator or the virtual clock — the package does not import
+// mpi at all. Each request's virtual-clock costs are recorded per
+// (rank, request id) as they are computed, and the rank goroutine replays
+// them through Comm.Compute at a single fixed program point after Close
+// (ascending request id, original evaluation order within a request), so
+// the final virtual clock is bitwise identical to the batch pipeline
+// evaluating the same requests in id order — however the real scheduler
+// interleaved the serving.
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/rtree"
+)
+
+// ErrClosed is returned by Range calls admitted after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// SessionConfig describes one rank's share of the distributed index.
+type SessionConfig struct {
+	// Partition is the cellular decomposition the trees were built over.
+	// Must be the rank-uniform partition the exchange used.
+	Partition grid.Partition
+	// Rank and Size identify this rank's slice of the cell-to-rank map.
+	Rank, Size int
+	// Scale is the cluster's ByteScale (cluster.Config.Scale()); values
+	// below 1 are treated as 1.
+	Scale float64
+	// Trees holds the finished per-cell R-trees, keyed by cell id. They
+	// must not be mutated after the Session is constructed.
+	Trees map[int]*rtree.Tree[geom.Geometry]
+	// Predicate is the refinement predicate; nil means geom.Intersects.
+	Predicate func(a, b geom.Geometry) bool
+	// KeepDuplicates disables reference-point duplicate avoidance.
+	KeepDuplicates bool
+}
+
+// Session is one rank's query evaluation core: the filter-and-refine loop
+// shared by the batch workloads and the resident Service. It is strictly
+// read-only after NewSession returns, so concurrent queries are race-free.
+type Session struct {
+	p       grid.Partition
+	rank    int
+	size    int
+	scale   float64
+	rankFor func(cell, size int) int
+	trees   map[int]*rtree.Tree[geom.Geometry]
+	pred    func(a, b geom.Geometry) bool
+	keepDup bool
+}
+
+// NewSession builds the evaluation core over finished cell trees. It primes
+// the envelope cache of every tree-resident geometry on the calling
+// goroutine: the lazy envelope memoization is a cache write on first use,
+// and refinement reads envelopes, so an unprimed geometry shared by
+// concurrent queries would be a data race. Trees built by the spatial
+// pipeline are already primed (the index build stores each geometry by its
+// envelope); priming here makes the guarantee hold for hand-built trees
+// too, at the cost of one read-only pass over already-primed ones.
+func NewSession(cfg SessionConfig) *Session {
+	s := &Session{
+		p:       cfg.Partition,
+		rank:    cfg.Rank,
+		size:    cfg.Size,
+		scale:   cfg.Scale,
+		rankFor: grid.MappingOf(cfg.Partition),
+		trees:   cfg.Trees,
+		pred:    cfg.Predicate,
+		keepDup: cfg.KeepDuplicates,
+	}
+	if s.scale < 1 {
+		s.scale = 1
+	}
+	if s.pred == nil {
+		s.pred = geom.Intersects
+	}
+	for _, tr := range s.trees {
+		// Priming is idempotent and order-independent, so iterating the
+		// map directly is safe here.
+		tr.Search(tr.Envelope(), func(_ geom.Envelope, g geom.Geometry) bool {
+			g.Envelope()
+			return true
+		})
+	}
+	return s
+}
+
+// Range evaluates one rectangular query against every cell this rank owns
+// that the query envelope overlaps — the batch query loop, extracted.
+// charge receives each virtual-clock cost in deterministic evaluation order
+// (ascending cell id, candidates in tree order); emit, when non-nil,
+// receives each accepted match. Returns the number of accepted pairs.
+func (s *Session) Range(q geom.Envelope, charge func(float64), emit func(geom.Geometry)) int64 {
+	qPoly := q.ToPolygon()
+	var pairs int64
+	for _, cell := range s.p.CellsFor(q) {
+		if s.rankFor(cell, s.size) != s.rank {
+			continue
+		}
+		tr := s.trees[cell]
+		if tr == nil {
+			continue
+		}
+		// The query batch is fixed (it does not scale with the dataset),
+		// so per-query work is charged once, against the scaled-up tree
+		// and hit counts.
+		pairs += s.probeCell(cell, tr, qPoly, q, 1, charge, emit)
+	}
+	return pairs
+}
+
+// Probe evaluates one join probe geometry against every owned cell its MBR
+// overlaps — a service-routed join request. Reference-point duplicate
+// suppression keeps the answer exactly-once across cells and ranks.
+func (s *Session) Probe(sg geom.Geometry, charge func(float64), emit func(geom.Geometry)) int64 {
+	env := sg.Envelope()
+	var pairs int64
+	for _, cell := range s.p.CellsFor(env) {
+		if s.rankFor(cell, s.size) != s.rank {
+			continue
+		}
+		tr := s.trees[cell]
+		if tr == nil {
+			continue
+		}
+		pairs += s.probeCell(cell, tr, sg, env, s.scale, charge, emit)
+	}
+	return pairs
+}
+
+// JoinCell evaluates one already-partitioned join probe against a single
+// cell — the batch join's inner loop, where the exchange has replicated
+// each probe into the cells it overlaps and the caller iterates them.
+func (s *Session) JoinCell(cell int, sg geom.Geometry, charge func(float64), emit func(geom.Geometry)) int64 {
+	tr := s.trees[cell]
+	if tr == nil {
+		return 0
+	}
+	return s.probeCell(cell, tr, sg, sg.Envelope(), s.scale, charge, emit)
+}
+
+// probeCell is the shared filter-and-refine core: R-tree filter,
+// reference-point duplicate suppression, exact refinement. chargeScale is
+// the workload's candidate-set scale factor: 1 for range queries (the
+// batch is fixed; each real hit stands for Scale full-size hits) and Scale
+// for joins (candidate counts follow the product of the two densities, so
+// each real pair stands for Scale² full-size ones).
+func (s *Session) probeCell(cell int, tr *rtree.Tree[geom.Geometry], probe geom.Geometry, pEnv geom.Envelope, chargeScale float64, charge func(float64), emit func(geom.Geometry)) int64 {
+	candidates := tr.Query(pEnv)
+	charge(costmodel.IndexQuery(costmodel.VirtualCount(tr.Len(), s.scale), costmodel.VirtualCount(len(candidates), s.scale)) * chargeScale)
+	var pairs int64
+	for _, gg := range candidates {
+		if !s.keepDup && grid.PairRefCell(s.p, gg.Envelope(), pEnv) != cell {
+			continue
+		}
+		charge(costmodel.RefineCost(gg.NumPoints(), probe.NumPoints()) * chargeScale * s.scale)
+		if s.pred(gg, probe) {
+			pairs++
+			if emit != nil {
+				emit(gg)
+			}
+		}
+	}
+	return pairs
+}
+
+// Result is one answered request: the accepted pairs and their identities,
+// merged across the ranks the request was routed to in ascending-cell rank
+// order — deterministic for a given request, independent of scheduling.
+type Result struct {
+	ID      uint64
+	Pairs   int64
+	Matches []geom.Geometry
+}
+
+// Stats reports one rank's served-work counters.
+type Stats struct {
+	// Pairs is the total accepted pairs this rank reported.
+	Pairs int64
+	// Rounds is the number of admission rounds the rank's queue executed.
+	Rounds int
+	// Admitted is the number of sub-requests those rounds coalesced; under
+	// concurrent clients Admitted exceeds Rounds when admission batching
+	// merges queued requests into one drain.
+	Admitted int
+}
+
+// subRequest is one request's share on one rank.
+type subRequest struct {
+	id      uint64
+	env     geom.Envelope
+	done    chan struct{}
+	pairs   int64
+	matches []geom.Geometry
+	charges []float64
+}
+
+// rankQueue is one rank's admission queue plus its recorded serving work.
+type rankQueue struct {
+	mu       sync.Mutex
+	queue    []*subRequest
+	draining bool
+
+	charges map[uint64][]float64
+	matches map[uint64][]geom.Geometry
+	stats   Stats
+}
+
+// Service is the resident query frontend: rank goroutines Register their
+// Sessions, client goroutines call Range concurrently, and the rank
+// goroutines block in WaitClosed until Close, then replay the recorded
+// virtual-clock charges (spatial.Serve packages that rank-side loop).
+// Client goroutines never touch a communicator — the whole package is
+// communicator-free — so serving cannot race a rank on its own Comm.
+type Service struct {
+	size int
+
+	mu         sync.Mutex
+	sessions   []*Session
+	registered int
+	p          grid.Partition
+	rankFor    func(cell, size int) int
+
+	ready  chan struct{}
+	closed chan struct{}
+
+	ranks []*rankQueue
+}
+
+// NewService creates a service for a world of size ranks. Admission opens
+// once every rank has registered its Session.
+func NewService(size int) *Service {
+	sv := &Service{
+		size:     size,
+		sessions: make([]*Session, size),
+		ready:    make(chan struct{}),
+		closed:   make(chan struct{}),
+		ranks:    make([]*rankQueue, size),
+	}
+	for r := range sv.ranks {
+		sv.ranks[r] = &rankQueue{
+			charges: make(map[uint64][]float64),
+			matches: make(map[uint64][]geom.Geometry),
+		}
+	}
+	return sv
+}
+
+// Register installs rank's Session. Each rank goroutine calls it once; when
+// the last rank registers, the partition (rank-uniform by contract) is
+// published for routing and admission opens.
+func (sv *Service) Register(rank int, s *Session) {
+	sv.mu.Lock()
+	if sv.sessions[rank] == nil {
+		sv.registered++
+	}
+	sv.sessions[rank] = s
+	if sv.registered == sv.size {
+		sv.p = s.p
+		sv.rankFor = s.rankFor
+		close(sv.ready)
+	}
+	sv.mu.Unlock()
+}
+
+// Ready is closed once every rank has registered and admission is open.
+func (sv *Service) Ready() <-chan struct{} { return sv.ready }
+
+// Close ends admission: Range calls admitted afterwards fail with
+// ErrClosed, and every rank blocked in WaitClosed is released to drain its
+// recorded charges. Callers must let outstanding Range calls return before
+// closing; Close is idempotent.
+func (sv *Service) Close() {
+	sv.mu.Lock()
+	select {
+	case <-sv.closed:
+	default:
+		close(sv.closed)
+	}
+	sv.mu.Unlock()
+}
+
+// Closed is closed once Close has been called.
+func (sv *Service) Closed() <-chan struct{} { return sv.closed }
+
+// Range answers one rectangular query. It may be called from any number of
+// client goroutines (never from a rank goroutine blocked in WaitClosed —
+// that would deadlock the drain with the close). The request id must be
+// unique per request; it orders the deterministic charge replay, so batch
+// equivalence calls number requests by their batch index. Range blocks
+// until every rank has registered, dispatches sub-requests only to the
+// ranks owning cells the envelope overlaps, and participates in admission
+// batching: the calling goroutine drains whichever target queues are idle,
+// and queues another client is already draining pick the request up in
+// that drainer's next round.
+func (sv *Service) Range(id uint64, q geom.Envelope) (Result, error) {
+	select {
+	case <-sv.ready:
+	case <-sv.closed:
+		return Result{}, ErrClosed
+	}
+	select {
+	case <-sv.closed:
+		return Result{}, ErrClosed
+	default:
+	}
+
+	// Route: the ranks owning any overlapped cell, deduplicated in
+	// ascending-cell order (deterministic merge order for the result).
+	var targets []int
+	seen := make([]bool, sv.size)
+	for _, cell := range sv.p.CellsFor(q) {
+		r := sv.rankFor(cell, sv.size)
+		if !seen[r] {
+			seen[r] = true
+			targets = append(targets, r)
+		}
+	}
+
+	subs := make([]*subRequest, len(targets))
+	for i, r := range targets {
+		subs[i] = &subRequest{id: id, env: q, done: make(chan struct{})}
+		rq := sv.ranks[r]
+		rq.mu.Lock()
+		rq.queue = append(rq.queue, subs[i])
+		rq.mu.Unlock()
+	}
+	for _, r := range targets {
+		sv.drain(r)
+	}
+
+	res := Result{ID: id}
+	for _, sub := range subs {
+		<-sub.done
+		res.Pairs += sub.pairs
+		res.Matches = append(res.Matches, sub.matches...)
+	}
+	return res, nil
+}
+
+// drain runs admission rounds for one rank until its queue is empty. Only
+// one goroutine drains a rank at a time; everyone else returns immediately
+// and relies on the drainer to pick up what they enqueued (the drainer
+// re-checks the queue under the lock before giving up the role, so nothing
+// is stranded).
+func (sv *Service) drain(r int) {
+	rq := sv.ranks[r]
+	rq.mu.Lock()
+	if rq.draining {
+		rq.mu.Unlock()
+		return
+	}
+	rq.draining = true
+	for len(rq.queue) > 0 {
+		round := rq.queue
+		rq.queue = nil
+		rq.stats.Rounds++
+		rq.stats.Admitted += len(round)
+		rq.mu.Unlock()
+
+		sess := sv.sessions[r]
+		for _, sub := range round {
+			sub.pairs = sess.Range(sub.env,
+				func(d float64) { sub.charges = append(sub.charges, d) },
+				func(g geom.Geometry) { sub.matches = append(sub.matches, g) })
+		}
+
+		rq.mu.Lock()
+		for _, sub := range round {
+			rq.charges[sub.id] = sub.charges
+			rq.matches[sub.id] = sub.matches
+			rq.stats.Pairs += sub.pairs
+			close(sub.done)
+		}
+	}
+	rq.draining = false
+	rq.mu.Unlock()
+}
+
+// WaitClosed blocks until Close. Rank goroutines park here while clients
+// query; it is channel-based and touches neither the communicator nor the
+// virtual clock, so a parked rank spends no virtual time and cannot trip
+// the MPI deadlock watchdog.
+func (sv *Service) WaitClosed() { <-sv.closed }
+
+// DrainCharges returns rank's recorded per-request virtual-clock costs in
+// ascending request-id order — each request's charges in their original
+// evaluation order — and resets them. The rank goroutine replays the
+// returned sequence through Comm.Compute at one fixed program point, which
+// reproduces the batch pipeline's Compute sequence exactly: float
+// accumulation order leaks into the virtual clock bit for bit, so the
+// replay preserves both grouping and order.
+func (sv *Service) DrainCharges(rank int) []float64 {
+	rq := sv.ranks[rank]
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	ids := make([]uint64, 0, len(rq.charges))
+	for id := range rq.charges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []float64
+	for _, id := range ids {
+		out = append(out, rq.charges[id]...)
+	}
+	rq.charges = make(map[uint64][]float64)
+	return out
+}
+
+// Matches returns rank's accepted geometries keyed by request id — the
+// per-rank attribution of the served answers, for equivalence harnesses.
+func (sv *Service) Matches(rank int) map[uint64][]geom.Geometry {
+	rq := sv.ranks[rank]
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	out := make(map[uint64][]geom.Geometry, len(rq.matches))
+	for id, ms := range rq.matches {
+		out[id] = ms
+	}
+	return out
+}
+
+// Stats returns rank's served-work counters.
+func (sv *Service) Stats(rank int) Stats {
+	rq := sv.ranks[rank]
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	return rq.stats
+}

@@ -1,0 +1,89 @@
+// Resident query serving: the rank-side loop that keeps the per-cell
+// indexes standing behind a serve.Service instead of evaluating one batch
+// and exiting. The evaluation core is the same serve.Session the batch
+// workloads wrap (queryCells/joinCells), so a served request and its batch
+// twin produce identical answers and identical virtual-clock charges.
+package spatial
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/rtree"
+	"repro/internal/serve"
+)
+
+// Serve runs this rank's share of a resident query service over finished
+// cell trees: it registers a Session with svc, parks until svc.Close()
+// (channel-based — no virtual time passes and no MPI operation is pending,
+// so the deadlock watchdog stays quiet), then charges the recorded
+// virtual-clock costs of every request this rank served at this single
+// program point, in ascending request-id order. Clients numbering requests
+// by batch index therefore leave the clock bitwise where the batch
+// RangeQuery over the same queries would have — however many goroutines
+// served them and however the scheduler interleaved the rounds.
+//
+// Client goroutines drive svc.Range concurrently from outside the MPI
+// world and must never touch a Comm; the rank goroutines touch svc only
+// through Register and the post-Close drain. All ranks must call Serve
+// collectively, and some client must eventually call svc.Close() or every
+// rank parks forever. Returns this rank's served-work breakdown (Refine,
+// Pairs).
+func Serve(c *mpi.Comm, svc *serve.Service, g grid.Partition, trees map[int]*rtree.Tree[geom.Geometry], opt JoinOptions) Breakdown {
+	svc.Register(c.Rank(), querySession(c, g, trees, opt))
+	svc.WaitClosed()
+
+	var bd Breakdown
+	t0 := c.Now()
+	for _, d := range svc.DrainCharges(c.Rank()) {
+		c.Compute(d)
+	}
+	bd.Refine = c.Now() - t0
+	bd.Pairs = svc.Stats(c.Rank()).Pairs
+	return bd
+}
+
+// ServeQuery is RangeQuery's resident sibling: the same partition,
+// exchange, and per-phase index build (identical virtual-clock trajectory),
+// but instead of evaluating a replicated query batch it hands the finished
+// trees to Serve and parks until the service closes. The partition must be
+// known up front — JoinOptions.Partition or a non-empty
+// JoinOptions.Envelope — because a resident service cannot derive the
+// world from queries it has not seen yet. All ranks must call it
+// collectively.
+func ServeQuery(c *mpi.Comm, localData []geom.Geometry, svc *serve.Service, opt JoinOptions) (Breakdown, error) {
+	var bd Breakdown
+	start := c.Now()
+	g := opt.Partition
+	if g == nil {
+		if opt.Envelope == nil || opt.Envelope.IsEmpty() {
+			return bd, fmt.Errorf("spatial: ServeQuery requires JoinOptions.Partition or a non-empty Envelope")
+		}
+		var err error
+		if g, err = uniformPartition(*opt.Envelope, opt.cells()); err != nil {
+			return bd, fmt.Errorf("spatial: grid: %w", err)
+		}
+	}
+	pt := &core.Partitioner{Grid: g, WindowCells: opt.WindowCells, SkipBadFrames: opt.SkipBadFrames}
+	ci := newCellIndexer(c, c.Config().Scale())
+	stats, err := pt.ExchangeStream(c, localData, ci.phase)
+	if err != nil {
+		return bd, fmt.Errorf("spatial: exchange: %w", err)
+	}
+	bd.Partition = stats.ProjectTime
+	bd.Comm = stats.CommTime
+	bd.Index = ci.time
+	bd.Indexed = ci.indexed
+	bd.Quarantined = int64(stats.FramesQuarantined)
+	bd.GeomImbalance = stats.GeomImbalance
+	bd.ByteImbalance = stats.ByteImbalance
+
+	sbd := Serve(c, svc, g, ci.trees, opt)
+	bd.Refine = sbd.Refine
+	bd.Pairs = sbd.Pairs
+	bd.Total = c.Now() - start
+	return bd, nil
+}

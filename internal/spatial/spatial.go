@@ -20,6 +20,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/rtree"
+	"repro/internal/serve"
 )
 
 // Breakdown is the per-phase timing the paper plots in Figures 17-20. On a
@@ -210,10 +211,11 @@ func Join(c *mpi.Comm, localR, localS []geom.Geometry, opt JoinOptions) (Breakdo
 // joinCells runs the filter and refine phases of the distributed join over
 // already-partitioned cells, accumulating timings and counters into bd. It
 // is the shared back half of Join (two-pass) and the streamed JoinFiles
-// (one-pass).
+// (one-pass). The refine loop itself lives in serve.Session — the same
+// filter-and-refine core the resident query service evaluates — with the
+// costs charged inline on this rank's clock.
 func joinCells(c *mpi.Comm, g grid.Partition, cellsR, cellsS map[int][]geom.Geometry, opt JoinOptions, bd *Breakdown) {
 	scale := c.Config().Scale()
-	pred := opt.predicate()
 
 	// Filter phase: per-cell R-tree over the R side. One real geometry
 	// stands for `scale` full-size ones, inserted into a tree that is
@@ -225,8 +227,10 @@ func joinCells(c *mpi.Comm, g grid.Partition, cellsR, cellsS map[int][]geom.Geom
 	// Refine phase: query with each S geometry, test exact intersection.
 	// Candidate counts follow the *product* of the two densities, so each
 	// real candidate pair stands for scale^2 full-size pairs — the filter's
-	// per-candidate term and the refinement tests are charged accordingly.
+	// per-candidate term and the refinement tests are charged accordingly
+	// (Session.JoinCell's chargeScale).
 	t1 := c.Now()
+	s := querySession(c, g, trees, opt)
 	// Query cells in ascending id order: iterating the map directly would
 	// charge the per-query Compute costs in random order, and float
 	// accumulation order leaks into the virtual clock bit-for-bit (the
@@ -237,34 +241,27 @@ func joinCells(c *mpi.Comm, g grid.Partition, cellsR, cellsS map[int][]geom.Geom
 	}
 	sort.Ints(sCells)
 	for _, cell := range sCells {
-		ss := cellsS[cell]
-		tr := trees[cell]
-		if tr == nil {
-			continue
-		}
-		cellID := cell
-		for _, sg := range ss {
-			sEnv := sg.Envelope()
-			candidates := tr.Query(sEnv)
-			c.Compute(costmodel.IndexQuery(virtualCount(tr.Len(), scale), virtualCount(len(candidates), scale)) * scale)
-			for _, rg := range candidates {
-				if !opt.KeepDuplicates {
-					// Reference-point rule: only the cell containing the
-					// lower-left corner of the MBR intersection reports
-					// the pair (§4's duplicate avoidance).
-					ov := rg.Envelope().Intersection(sEnv)
-					if g.RefCell(ov) != cellID {
-						continue
-					}
-				}
-				c.Compute(costmodel.RefineCost(rg.NumPoints(), sg.NumPoints()) * scale * scale)
-				if pred(rg, sg) {
-					bd.Pairs++
-				}
-			}
+		for _, sg := range cellsS[cell] {
+			bd.Pairs += s.JoinCell(cell, sg, c.Compute, nil)
 		}
 	}
 	bd.Refine = c.Now() - t1
+}
+
+// querySession wraps this rank's finished cell trees in the shared
+// filter-and-refine evaluation core (see internal/serve): the batch
+// workloads drive it with costs charged inline via c.Compute, the resident
+// service drives the same Session concurrently with recorded charges.
+func querySession(c *mpi.Comm, g grid.Partition, trees map[int]*rtree.Tree[geom.Geometry], opt JoinOptions) *serve.Session {
+	return serve.NewSession(serve.SessionConfig{
+		Partition:      g,
+		Rank:           c.Rank(),
+		Size:           c.Size(),
+		Scale:          c.Config().Scale(),
+		Trees:          trees,
+		Predicate:      opt.Predicate,
+		KeepDuplicates: opt.KeepDuplicates,
+	})
 }
 
 // cellIndexer builds one R-tree per owned cell, a phase at a time — the
@@ -308,7 +305,11 @@ func (ci *cellIndexer) phase(cells map[int][]geom.Geometry) error {
 		gs := cells[cell]
 		items := ci.items[:0]
 		for i, gg := range gs {
-			ci.c.Compute(costmodel.IndexInsert(virtualCount(i, ci.scale)) * ci.scale)
+			ci.c.Compute(costmodel.IndexInsert(costmodel.VirtualCount(i, ci.scale)) * ci.scale)
+			// Storing each geometry by its envelope also primes the lazy
+			// envelope cache on this rank's goroutine, before the tree is
+			// ever shared — the priming guarantee concurrent serving
+			// relies on (serve.NewSession re-asserts it defensively).
 			items = append(items, rtree.Item[geom.Geometry]{Env: gg.Envelope(), Value: gg})
 		}
 		// BulkLoad copies the items into its own sorted slice, so the
@@ -497,11 +498,6 @@ func BuildIndex(c *mpi.Comm, local []geom.Geometry, opt IndexOptions) (map[int]*
 	return ci.trees, g, bd, nil
 }
 
-// virtualCount converts a real element count to its full-scale equivalent.
-func virtualCount(n int, scale float64) int {
-	return int(float64(n) * scale)
-}
-
 // RangeQuery runs a batch of rectangular range queries against a
 // distributed dataset using the same filter-and-refine framework: the data
 // is grid-partitioned, queries are evaluated in every cell they overlap,
@@ -570,41 +566,15 @@ func RangeQuery(c *mpi.Comm, localData []geom.Geometry, queries []geom.Envelope,
 // rank's cell trees with filter-and-refine and reference-point duplicate
 // suppression, accumulating matches and refine time into bd. It is the
 // shared back half of RangeQuery (materialized) and RangeQueryFiles
-// (one-pass streamed).
+// (one-pass streamed) — a thin batch wrapper over serve.Session.Range, the
+// same evaluation the resident query service runs concurrently: queries in
+// batch order with costs charged inline, so the service's id-ordered
+// charge replay reproduces this trajectory bitwise.
 func queryCells(c *mpi.Comm, g grid.Partition, trees map[int]*rtree.Tree[geom.Geometry], queries []geom.Envelope, opt JoinOptions, bd *Breakdown) {
-	scale := c.Config().Scale()
-	pred := opt.predicate()
-
-	// The query batch is fixed (it does not scale with the dataset), so
-	// per-query work is charged once, against the scaled-up tree and hit
-	// counts: each real hit stands for `scale` full-size hits.
 	t1 := c.Now()
-	rank := c.Rank()
-	size := c.Size()
-	rankFor := grid.MappingOf(g)
+	s := querySession(c, g, trees, opt)
 	for _, q := range queries {
-		qPoly := q.ToPolygon()
-		for _, cell := range g.CellsFor(q) {
-			if rankFor(cell, size) != rank {
-				continue
-			}
-			tr := trees[cell]
-			if tr == nil {
-				continue
-			}
-			candidates := tr.Query(q)
-			c.Compute(costmodel.IndexQuery(virtualCount(tr.Len(), scale), virtualCount(len(candidates), scale)))
-			for _, gg := range candidates {
-				ov := gg.Envelope().Intersection(q)
-				if !opt.KeepDuplicates && g.RefCell(ov) != cell {
-					continue
-				}
-				c.Compute(costmodel.RefineCost(gg.NumPoints(), 5) * scale)
-				if pred(gg, qPoly) {
-					bd.Pairs++
-				}
-			}
-		}
+		bd.Pairs += s.Range(q, c.Compute, nil)
 	}
 	bd.Refine += c.Now() - t1
 }

@@ -2,6 +2,7 @@ package spatial
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -267,5 +268,122 @@ func TestJoinSymmetryProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Errorf("join symmetry property failed: %v", err)
+	}
+}
+
+// rangeQueryPairs runs the distributed RangeQuery and returns the summed
+// pair count plus the per-rank aggregated breakdown.
+func rangeQueryPairs(t *testing.T, cfg *cluster.Config, data []geom.Geometry, queries []geom.Envelope, opt JoinOptions) (int64, Breakdown) {
+	t.Helper()
+	var total int64
+	var agg Breakdown
+	var mu sync.Mutex
+	err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		bd, err := RangeQuery(c, scatter(data, c.Rank(), c.Size()), queries, opt)
+		if err != nil {
+			return err
+		}
+		a, err := bd.Aggregate(c)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		total += bd.Pairs
+		if c.Rank() == 0 {
+			agg = a
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total, agg
+}
+
+// TestRangeQueryCellBoundaryExactlyOnce is the clamp-repair regression: a
+// grid over [0,1] with 6 columns has an inexact cell width, and one ulp
+// below the column-3 boundary the unrepaired division-based clamp and the
+// multiplication-based CellEnv disagreed — the exchange placed a geometry
+// there only in column 2 (the R-tree of CellEnv rectangles) while a query
+// starting at the same x began iterating at column 3, so the pair was
+// silently dropped on every rank and at every rank count. The test pins
+// exactly-once against a brute-force oracle for geometries one ulp below,
+// exactly on, and one ulp above cell boundaries, including an edge-touching
+// query whose MinX is exactly the boundary.
+func TestRangeQueryCellBoundaryExactlyOnce(t *testing.T) {
+	world := geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	// 36 cells -> 6x6 grid; 1/6 is inexact in binary.
+	const cells = 36
+	b3 := 3 * (1.0 / 6.0) // the column-3 boundary as CellEnv rounds it
+	xs := []float64{math.Nextafter(b3, 0), b3, math.Nextafter(b3, 1)}
+
+	var data []geom.Geometry
+	for i, x := range xs {
+		y := 0.25 + float64(i)*0.01
+		data = append(data, geom.Point{X: x, Y: y})
+	}
+	queries := []geom.Envelope{
+		// MinX one ulp below the boundary: iteration must still reach the
+		// cell the boundary-adjacent points were placed in.
+		{MinX: xs[0], MinY: 0.2, MaxX: 0.6, MaxY: 0.3},
+		// MinX exactly on the boundary (edge-touching straddle).
+		{MinX: b3, MinY: 0.2, MaxX: 0.6, MaxY: 0.3},
+		// A query ending exactly on the boundary from the left.
+		{MinX: 0.4, MinY: 0.2, MaxX: b3, MaxY: 0.3},
+	}
+
+	var want int64
+	for _, q := range queries {
+		qp := q.ToPolygon()
+		for _, g := range data {
+			if geom.Intersects(g, qp) {
+				want++
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("oracle found no pairs; fixture broken")
+	}
+
+	env := world
+	for _, ranks := range []int{1, 4} {
+		got, _ := rangeQueryPairs(t, cluster.Local(ranks), data, queries,
+			JoinOptions{GridCells: cells, Envelope: &env})
+		if got != want {
+			t.Errorf("ranks=%d: boundary pairs = %d, want %d (exactly once)", ranks, got, want)
+		}
+	}
+}
+
+// TestRangeQueryFractionalScaleDeterministic pins the VirtualCount repair
+// end to end: at a fractional ByteScale every small cell's index and refine
+// charges stay on the virtual clock (nonzero Refine even though each tree
+// holds a handful of geometries), and repeated runs reproduce the
+// aggregated breakdown bitwise.
+func TestRangeQueryFractionalScaleDeterministic(t *testing.T) {
+	data := boxes(60, 57, 6)
+	r := rand.New(rand.NewSource(58))
+	queries := make([]geom.Envelope, 8)
+	for i := range queries {
+		x, y := r.Float64()*90, r.Float64()*90
+		queries[i] = geom.Envelope{MinX: x, MinY: y, MaxX: x + 12, MaxY: y + 12}
+	}
+	run := func() (int64, Breakdown) {
+		cfg := cluster.Local(3)
+		cfg.ByteScale = 2.5
+		return rangeQueryPairs(t, cfg, data, queries, JoinOptions{GridCells: 64})
+	}
+	pairs1, agg1 := run()
+	pairs2, agg2 := run()
+	if pairs1 == 0 {
+		t.Fatal("no pairs matched; fixture too sparse")
+	}
+	if agg1.Refine <= 0 {
+		t.Errorf("fractional scale erased the refine charges: Refine = %v", agg1.Refine)
+	}
+	if pairs1 != pairs2 || agg1 != agg2 {
+		t.Errorf("fractional-scale run not deterministic:\n run1 %d pairs %+v\n run2 %d pairs %+v",
+			pairs1, agg1, pairs2, agg2)
 	}
 }

@@ -244,6 +244,51 @@
 // Hotspot dataset preset is the extreme-skew stress layer, and the
 // ZipfSkew knob on DatasetSpec dials cluster skew for custom ones.
 //
+// # Resident query service
+//
+// RangeQuery evaluates one fixed batch and tears the world down; the
+// resident service keeps the per-rank cell indexes standing and answers
+// queries as they arrive. NewService creates the in-process frontend,
+// ServeQuery runs RangeQuery's exact pipeline — partition, exchange,
+// per-phase index build, identical virtual-clock trajectory — but parks
+// each rank's finished trees behind the service instead of evaluating a
+// batch. Client goroutines live outside the MPI world: they call
+// Service.Range concurrently (any number at once), and a dispatcher
+// routes each request only to the ranks whose grid cells its envelope
+// overlaps — O(1) per cell through the partition's cell-to-rank map,
+// uniform and adaptive alike — while per-rank admission queues coalesce
+// concurrent requests into shared evaluation rounds:
+//
+//	svc := vectorio.NewService(ranks)
+//	go func() { // any number of client goroutines
+//		<-svc.Ready()
+//		res, err := svc.Range(0, query) // res.Pairs, res.Matches
+//		...
+//		svc.Close() // last client releases the parked ranks
+//	}()
+//	vectorio.Run(cfg, func(c *vectorio.Comm) error {
+//		local, _, err := vectorio.ReadPartition(c, f, vectorio.NewWKTParser(), vectorio.ReadOptions{})
+//		...
+//		_, err = vectorio.ServeQuery(c, local, svc, vectorio.JoinOptions{Envelope: &world})
+//		return err
+//	})
+//
+// Concurrency does not cost determinism: a request's answer is merged in
+// ascending-cell rank order, evaluation is read-only over the immutable
+// trees (every envelope cache is primed at build, so -race stays quiet
+// under any client count), and each request's virtual-time costs are
+// recorded off-clock and replayed at one fixed program point after Close
+// in ascending request id — so clients that number requests by batch
+// index leave the final virtual clock bitwise where the batch RangeQuery
+// over the same queries would have, however the real scheduler
+// interleaved the serving. internal/pipelinetest pins that equivalence —
+// answers and clock — across partition families and client counts, and
+// BENCH_ingest.json's serve rows track real QPS and latency percentiles
+// under concurrent load. Session is the underlying single-rank
+// evaluation core (the filter-and-refine loop RangeQuery itself runs);
+// NewSession composes with hand-built trees when the full pipeline is
+// not wanted. See examples/servequery for a complete program.
+//
 // # Failure semantics and fault injection
 //
 // Every collective entry point above settles failure collectively: when
@@ -326,8 +371,8 @@
 // read), wkbingest (the binary fast path vs text), streamingest (the
 // one-pass streaming pipeline), streamquery (file → index → range query,
 // one pass), spatialjoin (the paper's end-to-end exemplar), rangequery
-// (filter-and-refine batch queries) and gridindex (parallel R-tree
-// construction).
+// (filter-and-refine batch queries), servequery (the resident concurrent
+// query service) and gridindex (parallel R-tree construction).
 package vectorio
 
 import (
@@ -341,6 +386,7 @@ import (
 	"repro/internal/mpiio"
 	"repro/internal/pfs"
 	"repro/internal/rtree"
+	"repro/internal/serve"
 	"repro/internal/spatial"
 	"repro/internal/wkb"
 	"repro/internal/wkt"
@@ -683,6 +729,45 @@ var (
 	// global grid order through a non-contiguous collective write (§4.1's
 	// output pattern).
 	WriteCells = spatial.WriteCells
+)
+
+// Resident query service (see the package documentation section of the
+// same name).
+type (
+	// Service is the in-process resident query frontend: clients call
+	// Range concurrently, ranks park behind it via ServeQuery or Serve.
+	Service = serve.Service
+	// Session is one rank's read-only evaluation core — the
+	// filter-and-refine loop the batch workloads are wrappers over; safe
+	// for any number of concurrent queriers.
+	Session = serve.Session
+	// SessionConfig describes one rank's share of the distributed index
+	// for NewSession.
+	SessionConfig = serve.SessionConfig
+	// ServeResult is one answered request: accepted pairs and their
+	// identities, merged deterministically across the routed ranks.
+	ServeResult = serve.Result
+	// ServeStats reports one rank's served-work counters (pairs, admission
+	// rounds, coalesced sub-requests).
+	ServeStats = serve.Stats
+)
+
+// Resident-service constructors, entry points, and sentinel.
+var (
+	// NewService creates a resident query frontend for a world of the
+	// given size.
+	NewService = serve.NewService
+	// NewSession builds one rank's evaluation core over finished trees.
+	NewSession = serve.NewSession
+	// Serve parks one rank's finished trees behind a Service until it
+	// closes, then charges the recorded costs at a single program point.
+	Serve = spatial.Serve
+	// ServeQuery is RangeQuery's resident sibling: the same pipeline up
+	// through index build, then Serve. Requires the partition up front
+	// (JoinOptions.Partition or a non-empty Envelope).
+	ServeQuery = spatial.ServeQuery
+	// ErrServeClosed is returned by Service.Range after Close.
+	ErrServeClosed = serve.ErrClosed
 )
 
 // Grid construction for custom partitioning pipelines.
